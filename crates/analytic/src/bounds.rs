@@ -1,0 +1,121 @@
+//! Asymptotic (bottleneck) bounds on closed-network performance
+//! (Denning & Buzen; Jain ch. 33.4). The paper uses flow-balance
+//! operational laws; these bounds give the envelope that any simulation of
+//! the same demands must respect — the workspace's integration tests use
+//! them as a sanity corridor around the simulator.
+
+/// Bound summary for a closed network with `n` customers.
+#[derive(Clone, Copy, Debug)]
+pub struct ClosedBounds {
+    /// Throughput upper bound: `min(1/D_max, n/(D_total + Z))` (jobs/s).
+    pub throughput_max: f64,
+    /// Throughput lower bound: `n / (n·D_total + Z)` — pessimistic
+    /// (all queueing at one station).
+    pub throughput_min: f64,
+    /// Response-time lower bound: `max(D_total, n·D_max − Z)` (s).
+    pub response_min_s: f64,
+    /// The population at which the two upper-bound asymptotes cross,
+    /// `n* = (D_total + Z)/D_max`.
+    pub knee_population: f64,
+}
+
+/// Compute the classic asymptotic bounds for service demands `demands_s`
+/// (per-station total demands, seconds) and think time `z_s`.
+///
+/// # Panics
+/// Panics on an empty demand list, non-positive demands, or `n == 0`.
+pub fn closed_bounds(demands_s: &[f64], z_s: f64, n: usize) -> ClosedBounds {
+    assert!(!demands_s.is_empty(), "need at least one station");
+    assert!(n > 0, "population must be positive");
+    assert!(z_s >= 0.0);
+    let mut d_total = 0.0;
+    let mut d_max: f64 = 0.0;
+    for &d in demands_s {
+        assert!(d > 0.0, "demands must be positive");
+        d_total += d;
+        d_max = d_max.max(d);
+    }
+    let nf = n as f64;
+    ClosedBounds {
+        throughput_max: (1.0 / d_max).min(nf / (d_total + z_s)),
+        throughput_min: nf / (nf * d_total + z_s),
+        response_min_s: d_total.max(nf * d_max - z_s),
+        knee_population: (d_total + z_s) / d_max,
+    }
+}
+
+/// Open-network stability bound: the arrival rate beyond which some
+/// station saturates, `λ_max = 1/D_max` (per second).
+pub fn open_saturation_rate(demands_s: &[f64]) -> f64 {
+    assert!(!demands_s.is_empty());
+    let d_max = demands_s
+        .iter()
+        .fold(0.0f64, |m, &d| m.max(d));
+    assert!(d_max > 0.0);
+    1.0 / d_max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mva::{mva, Center};
+
+    #[test]
+    fn bounds_bracket_exact_mva() {
+        let demands = [2213e-6, 223e-6];
+        for n in [1usize, 2, 4, 16] {
+            let b = closed_bounds(&demands, 0.0, n);
+            let sol = mva(
+                &[Center::Queueing(demands[0]), Center::Queueing(demands[1])],
+                n,
+            );
+            let x = *sol.throughput.last().expect("population >= 1");
+            assert!(
+                x <= b.throughput_max + 1e-9,
+                "n={n}: X={x} above upper bound {}",
+                b.throughput_max
+            );
+            assert!(
+                x >= b.throughput_min - 1e-9,
+                "n={n}: X={x} below lower bound {}",
+                b.throughput_min
+            );
+        }
+    }
+
+    #[test]
+    fn single_customer_bounds_are_tight() {
+        let demands = [1e-3, 2e-3];
+        let b = closed_bounds(&demands, 0.0, 1);
+        // With one customer there is no queueing: X = 1/D_total exactly,
+        // and both bounds coincide there.
+        assert!((b.throughput_min - 1.0 / 3e-3).abs() < 1e-9);
+        assert!((b.throughput_max - 1.0 / 3e-3).abs() < 1e-9);
+        assert!((b.response_min_s - 3e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knee_marks_saturation_onset() {
+        // App workload: knee at (2213+223)/2213 = 1.1 customers — the CPU
+        // saturates almost immediately, which is why one application
+        // process already keeps a node ~91% busy.
+        let b = closed_bounds(&[2213e-6, 223e-6], 0.0, 4);
+        assert!((b.knee_population - 2436.0 / 2213.0).abs() < 1e-9);
+        assert!((b.throughput_max - 1.0 / 2213e-6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn think_time_shifts_the_knee() {
+        let without = closed_bounds(&[1e-3], 0.0, 10);
+        let with = closed_bounds(&[1e-3], 9e-3, 10);
+        assert!(with.knee_population > without.knee_population);
+        assert!((with.knee_population - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_saturation_is_bottleneck_rate() {
+        // Paradyn daemon: CPU 267us, net 71us -> saturates at ~3745/s.
+        let rate = open_saturation_rate(&[267e-6, 71e-6]);
+        assert!((rate - 1.0 / 267e-6).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,79 @@
+//! Kernel benchmarks: raw event-calendar throughput (DESIGN.md ablations
+//! 1–2: integer time + typed events).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use paradyn_des::{Ctx, Model, Sim, SimDur, SimTime};
+
+/// Self-rescheduling single event: pure calendar overhead.
+struct Chain {
+    remaining: u64,
+}
+
+impl Model for Chain {
+    type Event = ();
+    fn handle(&mut self, ctx: &mut Ctx<()>, _ev: ()) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_in(SimDur::from_nanos(100), ());
+        }
+    }
+}
+
+/// K interleaved timers: deeper heap.
+struct Timers {
+    remaining: u64,
+}
+
+impl Model for Timers {
+    type Event = u32;
+    fn handle(&mut self, ctx: &mut Ctx<u32>, id: u32) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            // Deterministic pseudo-random gap keeps the heap shuffled.
+            let gap = 50 + (id as u64).wrapping_mul(2654435761) % 1000;
+            ctx.schedule_in(SimDur::from_nanos(gap), id);
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_engine");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("event_chain_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Sim::new(Chain { remaining: N });
+                sim.ctx().schedule_at(SimTime::ZERO, ());
+                sim
+            },
+            |mut sim| {
+                sim.run_until(SimTime::MAX);
+                sim.executed_events()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    for k in [64u32, 1024] {
+        g.bench_function(format!("timers_{k}_100k"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = Sim::new(Timers { remaining: N });
+                    for id in 0..k {
+                        sim.ctx().schedule_at(SimTime::from_nanos(id as u64), id);
+                    }
+                    sim
+                },
+                |mut sim| {
+                    sim.run_until(SimTime::MAX);
+                    sim.executed_events()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

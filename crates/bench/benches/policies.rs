@@ -1,0 +1,47 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! CF ≡ BF(1) single code path (3), batch-size cost scaling, and tree vs
+//! direct forwarding event cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paradyn_core::{run, Arch, Forwarding, SimConfig};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policies");
+    g.sample_size(10);
+    let base = SimConfig {
+        arch: Arch::Now {
+            contention_free: true,
+        },
+        nodes: 8,
+        apps_per_node: 4,
+        sampling_period_us: 5_000.0,
+        duration_s: 1.0,
+        ..Default::default()
+    };
+    for batch in [1usize, 8, 32, 128] {
+        g.bench_function(format!("now_batch_{batch}"), |b| {
+            let cfg = SimConfig {
+                batch,
+                ..base.clone()
+            };
+            b.iter(|| run(&cfg).forwarded_batches)
+        });
+    }
+    for (name, fwd) in [
+        ("mpp_direct_128n", Forwarding::Direct),
+        ("mpp_tree_128n", Forwarding::BinaryTree),
+    ] {
+        let cfg = SimConfig {
+            arch: Arch::Mpp { forwarding: fwd },
+            nodes: 128,
+            batch: 32,
+            duration_s: 1.0,
+            ..Default::default()
+        };
+        g.bench_function(name, |b| b.iter(|| run(&cfg).received_samples));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Whole-model simulation throughput across the three architectures —
+//! the cost of regenerating the paper's experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use paradyn_core::{run, Arch, Forwarding, SimConfig};
+
+fn cfg(arch: Arch, nodes: usize, duration_s: f64) -> SimConfig {
+    SimConfig {
+        arch,
+        nodes,
+        duration_s,
+        ..Default::default()
+    }
+}
+
+fn bench_rocc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rocc_model");
+    g.sample_size(10);
+
+    let cases = [
+        (
+            "now_shared_8n_1s",
+            cfg(Arch::Now { contention_free: false }, 8, 1.0),
+        ),
+        (
+            "now_cfree_8n_1s",
+            cfg(Arch::Now { contention_free: true }, 8, 1.0),
+        ),
+        ("smp_16cpu_1s", {
+            let mut c = cfg(Arch::Smp, 16, 1.0);
+            c.apps_per_node = 32;
+            c
+        }),
+        (
+            "mpp_direct_64n_1s",
+            cfg(
+                Arch::Mpp {
+                    forwarding: Forwarding::Direct,
+                },
+                64,
+                1.0,
+            ),
+        ),
+        (
+            "mpp_tree_64n_1s",
+            {
+                let mut c = cfg(
+                    Arch::Mpp {
+                        forwarding: Forwarding::BinaryTree,
+                    },
+                    64,
+                    1.0,
+                );
+                c.batch = 32;
+                c
+            },
+        ),
+    ];
+    for (name, config) in cases {
+        // Report throughput in simulated events per wall second.
+        let events = run(&config).events;
+        g.throughput(Throughput::Elements(events));
+        g.bench_function(name, |b| b.iter(|| run(&config).events));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rocc);
+criterion_main!(benches);

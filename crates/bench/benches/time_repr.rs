@@ -1,0 +1,87 @@
+//! Ablation bench for DESIGN.md decision 1: integer-nanosecond event keys
+//! vs. a float-keyed calendar. Measures raw binary-heap push/pop throughput
+//! with each key representation over an identical event trace.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// A totally ordered f64 wrapper (what a float-keyed calendar would need).
+#[derive(Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Deterministic pseudo-random event-time trace.
+fn times(n: usize) -> Vec<u64> {
+    let mut x = 0x243F6A8885A308D3u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % 1_000_000_000
+        })
+        .collect()
+}
+
+fn churn<K: Ord + Copy>(heap: &mut BinaryHeap<Reverse<(K, u64)>>, keys: &[K]) -> u64 {
+    // Steady-state churn: push one, pop one, like a running calendar.
+    let mut acc = 0u64;
+    for (i, &k) in keys.iter().enumerate() {
+        heap.push(Reverse((k, i as u64)));
+        if let Some(Reverse((_, seq))) = heap.pop() {
+            acc = acc.wrapping_add(seq);
+        }
+    }
+    acc
+}
+
+fn bench_time_repr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("time_repr");
+    const N: usize = 100_000;
+    const PREFILL: usize = 1_024;
+    let ts = times(N);
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("integer_keys", |b| {
+        b.iter_batched(
+            || {
+                let mut h: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+                for (i, &t) in ts.iter().take(PREFILL).enumerate() {
+                    h.push(Reverse((t, i as u64)));
+                }
+                h
+            },
+            |mut h| churn(&mut h, &ts),
+            BatchSize::SmallInput,
+        )
+    });
+    let fts: Vec<OrderedF64> = ts.iter().map(|&t| OrderedF64(t as f64 * 1e-9)).collect();
+    g.bench_function("float_keys", |b| {
+        b.iter_batched(
+            || {
+                let mut h: BinaryHeap<Reverse<(OrderedF64, u64)>> = BinaryHeap::new();
+                for (i, &t) in fts.iter().take(PREFILL).enumerate() {
+                    h.push(Reverse((t, i as u64)));
+                }
+                h
+            },
+            |mut h| churn(&mut h, &fts),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_time_repr);
+criterion_main!(benches);

@@ -1,0 +1,272 @@
+//! The Section 3 analytic figures: 9–10 (NOW), 12–13 (SMP), 14–15 (MPP).
+
+use crate::fmt::{fnum, heading, pct, TextTable};
+use paradyn_analytic::{
+    mpp::{self, Forwarding},
+    now, smp, Demands, Knobs,
+};
+use paradyn_workload::RoccParams;
+
+fn demands(batch: usize) -> Demands {
+    // The paper's analytic model charges one demand per batch regardless of
+    // size (no marginals) — see inputs::Demands.
+    Demands::from_params(&RoccParams::default(), batch, false)
+}
+
+/// Figure 9: analytic NOW metrics vs number of nodes (40 ms) and vs
+/// sampling period (8 nodes), CF vs BF(128).
+pub fn run_fig9() {
+    heading("Figure 9: analytic NOW — CF vs BF");
+    let nodes = [2usize, 4, 8, 16, 32];
+    println!("\n(a) sampling period = 40 ms, varying nodes");
+    let mut t = TextTable::new(vec![
+        "nodes",
+        "Pd CPU %/node CF",
+        "Pd CPU %/node BF",
+        "Paradyn CPU % CF",
+        "Paradyn CPU % BF",
+        "app CPU %/node CF",
+        "latency ms CF",
+        "latency ms BF",
+    ]);
+    for &n in &nodes {
+        let kc = Knobs { nodes: n, ..Default::default() };
+        let kb = Knobs { nodes: n, batch: 128, ..Default::default() };
+        let mc = now::now_metrics(&kc, &demands(1));
+        let mb = now::now_metrics(&kb, &demands(128));
+        t.row(vec![
+            n.to_string(),
+            pct(mc.pd_cpu_util),
+            pct(mb.pd_cpu_util),
+            pct(mc.main_cpu_util),
+            pct(mb.main_cpu_util),
+            pct(mc.app_cpu_util),
+            fnum(mc.latency_s * 1e3, 3),
+            fnum(mb.latency_s * 1e3, 3),
+        ]);
+    }
+    t.print();
+
+    println!("\n(b) nodes = 8, varying sampling period");
+    let periods = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+    let mut t = TextTable::new(vec![
+        "period ms",
+        "Pd CPU %/node CF",
+        "Pd CPU %/node BF",
+        "Paradyn CPU % CF",
+        "Paradyn CPU % BF",
+        "app CPU %/node CF",
+        "latency ms CF",
+    ]);
+    for &ms in &periods {
+        let kc = Knobs { sampling_period_s: ms * 1e-3, ..Default::default() };
+        let kb = Knobs { sampling_period_s: ms * 1e-3, batch: 128, ..kc };
+        let mc = now::now_metrics(&kc, &demands(1));
+        let mb = now::now_metrics(&kb, &demands(128));
+        t.row(vec![
+            fnum(ms, 0),
+            pct(mc.pd_cpu_util),
+            pct(mb.pd_cpu_util),
+            pct(mc.main_cpu_util),
+            pct(mb.main_cpu_util),
+            pct(mc.app_cpu_util),
+            fnum(mc.latency_s * 1e3, 3),
+        ]);
+    }
+    t.print();
+}
+
+/// Figure 10: analytic NOW metrics vs batch size at three sampling periods
+/// (8 nodes).
+pub fn run_fig10() {
+    heading("Figure 10: analytic NOW — batch-size sweep (8 nodes)");
+    let batches = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    for &ms in &[1.0, 40.0, 64.0] {
+        println!("\nsampling period = {ms} ms");
+        let mut t = TextTable::new(vec![
+            "batch",
+            "Pd CPU %/node",
+            "Paradyn CPU %",
+            "app CPU %/node",
+            "latency ms",
+        ]);
+        for &b in &batches {
+            let k = Knobs {
+                sampling_period_s: ms * 1e-3,
+                batch: b,
+                ..Default::default()
+            };
+            let m = now::now_metrics(&k, &demands(b));
+            t.row(vec![
+                b.to_string(),
+                pct(m.pd_cpu_util),
+                pct(m.main_cpu_util),
+                pct(m.app_cpu_util),
+                fnum(m.latency_s * 1e3, 3),
+            ]);
+        }
+        t.print();
+    }
+}
+
+fn smp_base() -> Knobs {
+    Knobs {
+        nodes: 16,
+        apps_per_node: 32,
+        ..Default::default()
+    }
+}
+
+/// Figure 12: analytic SMP metrics vs sampling period for 1–4 daemons,
+/// CF vs BF(128).
+pub fn run_fig12() {
+    heading("Figure 12: analytic SMP — sampling sweep, 1-4 Pds (16 CPUs, 32 apps)");
+    for (policy, batch) in [("CF", 1usize), ("BF(128)", 128)] {
+        println!("\n{policy}");
+        let mut t = TextTable::new(vec![
+            "period ms",
+            "IS CPU % (1 Pd)",
+            "IS CPU % (2)",
+            "IS CPU % (3)",
+            "IS CPU % (4)",
+            "latency ms (1 Pd)",
+            "app CPU % (1 Pd)",
+        ]);
+        for &ms in &[1.0, 5.0, 10.0, 20.0, 40.0, 64.0] {
+            let metric = |pds: usize| {
+                smp::smp_metrics(
+                    &Knobs {
+                        sampling_period_s: ms * 1e-3,
+                        batch,
+                        pds,
+                        ..smp_base()
+                    },
+                    &demands(batch),
+                )
+            };
+            let m1 = metric(1);
+            t.row(vec![
+                fnum(ms, 0),
+                pct(m1.is_cpu_util),
+                pct(metric(2).is_cpu_util),
+                pct(metric(3).is_cpu_util),
+                pct(metric(4).is_cpu_util),
+                fnum(m1.latency_s * 1e3, 4),
+                pct(m1.app_cpu_util),
+            ]);
+        }
+        t.print();
+    }
+}
+
+/// Figure 13: analytic SMP metrics vs application-process count for 1–4
+/// daemons (40 ms, 16 CPUs).
+pub fn run_fig13() {
+    heading("Figure 13: analytic SMP — app-count sweep, 1-4 Pds (40 ms, 16 CPUs)");
+    for (policy, batch) in [("CF", 1usize), ("BF(128)", 128)] {
+        println!("\n{policy}");
+        let mut t = TextTable::new(vec![
+            "apps",
+            "IS CPU % (1 Pd)",
+            "IS CPU % (4 Pds)",
+            "latency ms (1 Pd)",
+            "app CPU % (1 Pd)",
+        ]);
+        for &apps in &[1usize, 2, 3, 4, 5, 6] {
+            let metric = |pds: usize| {
+                smp::smp_metrics(
+                    &Knobs {
+                        apps_per_node: apps,
+                        batch,
+                        pds,
+                        ..smp_base()
+                    },
+                    &demands(batch),
+                )
+            };
+            let m1 = metric(1);
+            t.row(vec![
+                apps.to_string(),
+                pct(m1.is_cpu_util),
+                pct(metric(4).is_cpu_util),
+                fnum(m1.latency_s * 1e3, 4),
+                pct(m1.app_cpu_util),
+            ]);
+        }
+        t.print();
+    }
+}
+
+fn mpp_base() -> Knobs {
+    Knobs {
+        nodes: 256,
+        batch: 32,
+        ..Default::default()
+    }
+}
+
+/// Figure 14: analytic MPP metrics vs sampling period, direct vs tree
+/// (256 nodes, BF).
+pub fn run_fig14() {
+    heading("Figure 14: analytic MPP — sampling sweep, direct vs tree (256 nodes, BF 32)");
+    let mut t = TextTable::new(vec![
+        "period ms",
+        "Pd CPU %/node direct",
+        "Pd CPU %/node tree",
+        "Paradyn CPU % direct",
+        "Paradyn CPU % tree",
+        "app CPU %/node direct",
+        "latency ms direct",
+        "latency ms tree",
+    ]);
+    for &ms in &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+        let k = Knobs {
+            sampling_period_s: ms * 1e-3,
+            ..mpp_base()
+        };
+        let d = mpp::mpp_metrics(&k, &demands(32), Forwarding::Direct);
+        let tr = mpp::mpp_metrics(&k, &demands(32), Forwarding::BinaryTree);
+        t.row(vec![
+            fnum(ms, 0),
+            pct(d.pd_cpu_util),
+            pct(tr.pd_cpu_util),
+            pct(d.main_cpu_util),
+            pct(tr.main_cpu_util),
+            pct(d.app_cpu_util),
+            fnum(d.latency_s * 1e3, 3),
+            fnum(tr.latency_s * 1e3, 3),
+        ]);
+    }
+    t.print();
+}
+
+/// Figure 15: analytic MPP metrics vs node count, direct vs tree (40 ms, BF).
+pub fn run_fig15() {
+    heading("Figure 15: analytic MPP — node sweep, direct vs tree (40 ms, BF 32)");
+    let mut t = TextTable::new(vec![
+        "nodes",
+        "Pd CPU %/node direct",
+        "Pd CPU %/node tree",
+        "Paradyn CPU % direct",
+        "Paradyn CPU % tree",
+        "app CPU %/node direct",
+        "latency ms direct",
+        "latency ms tree",
+    ]);
+    for &n in &[2usize, 4, 8, 16, 32, 64, 128, 256] {
+        let k = Knobs { nodes: n, ..mpp_base() };
+        let d = mpp::mpp_metrics(&k, &demands(32), Forwarding::Direct);
+        let tr = mpp::mpp_metrics(&k, &demands(32), Forwarding::BinaryTree);
+        t.row(vec![
+            n.to_string(),
+            fnum(d.pd_cpu_util * 100.0, 4),
+            fnum(tr.pd_cpu_util * 100.0, 4),
+            pct(d.main_cpu_util),
+            pct(tr.main_cpu_util),
+            pct(d.app_cpu_util),
+            fnum(d.latency_s * 1e3, 3),
+            fnum(tr.latency_s * 1e3, 3),
+        ]);
+    }
+    t.print();
+}

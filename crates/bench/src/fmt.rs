@@ -1,0 +1,181 @@
+//! Plain-text table and series formatting for the reproduction reports,
+//! with an optional CSV sink so every printed table is also captured as a
+//! machine-readable series (one file per table, named after the artifact).
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+struct CsvSink {
+    dir: PathBuf,
+    artifact: String,
+    counter: u32,
+}
+
+static CSV_SINK: Mutex<Option<CsvSink>> = Mutex::new(None);
+
+/// Route subsequent [`TextTable::print`] calls to CSV files
+/// `<dir>/<artifact>_<n>.csv` in addition to stdout. Pass `None` to stop.
+pub fn set_csv_output(dir: Option<PathBuf>, artifact: &str) {
+    let mut sink = CSV_SINK.lock().expect("csv sink poisoned");
+    *sink = dir.map(|dir| CsvSink {
+        dir,
+        artifact: artifact.to_string(),
+        counter: 0,
+    });
+}
+
+fn csv_escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: vec![],
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(c);
+                for _ in c.len()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        for row in std::iter::once(&self.headers).chain(self.rows.iter()) {
+            let line: Vec<String> = row.iter().map(|c| csv_escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout, and to the CSV sink if one is configured.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        let mut sink = CSV_SINK.lock().expect("csv sink poisoned");
+        if let Some(s) = sink.as_mut() {
+            s.counter += 1;
+            let path = s.dir.join(format!("{}_{}.csv", s.artifact, s.counter));
+            if let Err(e) = fs::write(&path, self.render_csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Format a float with the given precision, using engineering-friendly
+/// fallbacks for non-finite values.
+pub fn fnum(x: f64, prec: usize) -> String {
+    if x.is_nan() {
+        "n/a".into()
+    } else if x.is_infinite() {
+        "inf".into()
+    } else {
+        format!("{x:.prec$}")
+    }
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    fnum(100.0 * x, 2)
+}
+
+/// Format seconds as milliseconds.
+pub fn ms(x_s: f64) -> String {
+    fnum(1e3 * x_s, 3)
+}
+
+/// Print a section heading.
+pub fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1"]).row(vec!["b", "22.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("alpha"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn ragged_row_rejected() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(fnum(f64::NAN, 2), "n/a");
+        assert_eq!(fnum(f64::INFINITY, 2), "inf");
+        assert_eq!(pct(0.1234), "12.34");
+        assert_eq!(ms(0.0015), "1.500");
+    }
+}

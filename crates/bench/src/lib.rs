@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+//! # paradyn-bench — the reproduction harness
+//!
+//! One module per group of paper artifacts; each `run_*` function
+//! regenerates a table or figure and prints the series/rows the paper
+//! reports, annotated with the paper's reference values where published.
+//! The `repro` binary dispatches on artifact ids (`table1` … `fig31`,
+//! `all`); Criterion benches under `benches/` measure the performance of
+//! the simulator itself.
+
+pub mod analytic_figs;
+pub mod fig8;
+pub mod fmt;
+pub mod mpp_figs;
+pub mod now_figs;
+pub mod scale;
+pub mod simhelp;
+pub mod smp_figs;
+pub mod tables;
+pub mod testbed_figs;
+
+pub use scale::Scale;
+
+/// All artifact ids, in paper order.
+pub const ARTIFACTS: &[&str] = &[
+    "table1", "table2", "table3", "fig8", "fig9", "fig10", "fig12", "fig13", "fig14", "fig15",
+    "table4", "fig16", "fig17", "fig18", "fig19", "table5", "fig20", "fig21", "fig22", "fig23",
+    "fig24", "table6", "fig25", "fig26", "fig27", "fig28", "fig30", "table7", "fig31", "table8",
+];
+
+/// Run one artifact by id. Returns `false` for an unknown id.
+pub fn run_artifact(id: &str, scale: &Scale) -> bool {
+    match id {
+        "table1" => tables::run_table1(scale),
+        "table2" => tables::run_table2(scale),
+        "table3" => tables::run_table3(scale),
+        "fig8" => fig8::run_fig8(scale),
+        "fig9" => analytic_figs::run_fig9(),
+        "fig10" => analytic_figs::run_fig10(),
+        "fig12" => analytic_figs::run_fig12(),
+        "fig13" => analytic_figs::run_fig13(),
+        "fig14" => analytic_figs::run_fig14(),
+        "fig15" => analytic_figs::run_fig15(),
+        "table4" => now_figs::run_table4(scale),
+        "fig16" => now_figs::run_fig16(scale),
+        "fig17" => now_figs::run_fig17(scale),
+        "fig18" => now_figs::run_fig18(scale),
+        "fig19" => now_figs::run_fig19(scale),
+        "table5" => smp_figs::run_table5(scale),
+        "fig20" => smp_figs::run_fig20(scale),
+        "fig21" => smp_figs::run_fig21(scale),
+        "fig22" => smp_figs::run_fig22(scale),
+        "fig23" => smp_figs::run_fig23(scale),
+        "fig24" => smp_figs::run_fig24(scale),
+        "table6" => mpp_figs::run_table6(scale),
+        "fig25" => mpp_figs::run_fig25(scale),
+        "fig26" => mpp_figs::run_fig26(scale),
+        "fig27" => mpp_figs::run_fig27(scale),
+        "fig28" => mpp_figs::run_fig28(scale),
+        "fig30" => testbed_figs::run_fig30(scale),
+        "table7" => testbed_figs::run_table7(scale),
+        "fig31" => testbed_figs::run_fig31(scale),
+        "table8" => testbed_figs::run_table8(scale),
+        _ => return false,
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_list_is_complete_and_dispatchable() {
+        assert_eq!(ARTIFACTS.len(), 30);
+        assert!(!run_artifact("fig99", &Scale::quick()));
+    }
+}

@@ -1,0 +1,100 @@
+//! Experiment scale presets: the paper's full 2^k·r = 50-replication,
+//! 100-second runs are expensive; the harness defaults to a standard scale
+//! that preserves every comparison and offers `--quick` / `--full`.
+
+use std::time::Duration;
+
+/// Scale knobs shared by all reproduction experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Replications per simulated configuration (paper: 50).
+    pub reps: usize,
+    /// Simulated duration for small systems (paper: 50–100 s).
+    pub sim_s: f64,
+    /// Simulated duration for large (≥ 64-node) systems.
+    pub sim_big_s: f64,
+    /// Wall-clock duration per testbed measurement run.
+    pub testbed: Duration,
+    /// Synthetic-trace duration for the characterization experiments (µs).
+    pub trace_us: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Smoke-test scale: every experiment runs in seconds.
+    pub fn quick() -> Scale {
+        Scale {
+            reps: 2,
+            sim_s: 4.0,
+            sim_big_s: 2.0,
+            testbed: Duration::from_millis(800),
+            trace_us: 10.0e6,
+            seed: 0x5EED_CAFE,
+        }
+    }
+
+    /// Default scale: full repro in minutes; CIs tight enough for every
+    /// comparison.
+    pub fn standard() -> Scale {
+        Scale {
+            reps: 5,
+            sim_s: 20.0,
+            sim_big_s: 10.0,
+            testbed: Duration::from_secs(3),
+            trace_us: 60.0e6,
+            seed: 0x5EED_CAFE,
+        }
+    }
+
+    /// Paper-fidelity scale (50 replications, long runs) — expect a long
+    /// wall-clock time.
+    pub fn full() -> Scale {
+        Scale {
+            reps: 50,
+            sim_s: 100.0,
+            sim_big_s: 50.0,
+            testbed: Duration::from_secs(10),
+            trace_us: 100.0e6,
+            seed: 0x5EED_CAFE,
+        }
+    }
+
+    /// Parse from CLI-ish arguments; `None` on unknown preset.
+    pub fn from_name(name: &str) -> Option<Scale> {
+        match name {
+            "quick" => Some(Scale::quick()),
+            "standard" => Some(Scale::standard()),
+            "full" => Some(Scale::full()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let q = Scale::quick();
+        let s = Scale::standard();
+        let f = Scale::full();
+        assert!(q.reps <= s.reps && s.reps <= f.reps);
+        assert!(q.sim_s <= s.sim_s && s.sim_s <= f.sim_s);
+        assert!(q.testbed <= s.testbed);
+    }
+
+    #[test]
+    fn parse_by_name() {
+        assert_eq!(Scale::from_name("quick").unwrap().reps, 2);
+        assert_eq!(Scale::from_name("full").unwrap().reps, 50);
+        assert!(Scale::from_name("warp").is_none());
+    }
+}

@@ -1,0 +1,324 @@
+//! Simulation configuration: architecture, scheduling policy, forwarding
+//! configuration, and the experiment factors of Section 4.1.
+
+use paradyn_workload::{AppProfile, ReplaySchedule, RoccParams};
+use std::sync::Arc;
+
+/// How instrumentation data travels from daemons to the main process on an
+/// MPP system (Figure 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Forwarding {
+    /// Every daemon sends directly to the main Paradyn process.
+    Direct,
+    /// Daemons forward along a binary tree; non-leaf daemons receive,
+    /// merge, and relay their children's messages.
+    BinaryTree,
+}
+
+/// The three system architectures of the study (Section 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arch {
+    /// Network of workstations: one CPU per node. `contention_free = false`
+    /// routes all network occupancy through a shared Ethernet (FCFS);
+    /// `true` uses a pure-delay network (the assumption of Figures 18–19).
+    Now {
+        /// Whether the interconnect is modelled contention-free.
+        contention_free: bool,
+    },
+    /// Shared-memory multiprocessor: `nodes` CPUs pooled behind one ready
+    /// queue; all message passing crosses a shared bus (FCFS).
+    Smp,
+    /// Massively parallel processor: one CPU per node, dedicated
+    /// contention-free interconnect, selectable forwarding configuration.
+    Mpp {
+        /// Direct or binary-tree data forwarding.
+        forwarding: Forwarding,
+    },
+}
+
+/// When application processes emit instrumentation samples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampleTiming {
+    /// Poisson sampling: exponential inter-arrival with the sampling-period
+    /// mean (the paper's Table 2 approximation).
+    Exponential,
+    /// Strictly periodic sampling.
+    Periodic,
+}
+
+/// Adaptive batch-size regulation — the Section 6 extension ("the IS can
+/// use the model to adapt its behavior in order to regulate overheads",
+/// after Paradyn's dynamic cost model \[12\]).
+///
+/// Each daemon periodically compares its own CPU utilization over the last
+/// control interval against `target_pd_util` and doubles its batch size
+/// when over budget (cheaper per sample) or halves it when well under
+/// budget (lower latency), within `[min_batch, max_batch]`.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveBatch {
+    /// Daemon CPU-utilization budget (fraction of one CPU).
+    pub target_pd_util: f64,
+    /// Control interval in microseconds.
+    pub interval_us: f64,
+    /// Smallest allowed batch (1 = may fall back to CF).
+    pub min_batch: usize,
+    /// Largest allowed batch.
+    pub max_batch: usize,
+}
+
+impl Default for AdaptiveBatch {
+    fn default() -> Self {
+        AdaptiveBatch {
+            target_pd_util: 0.01,
+            interval_us: 500_000.0,
+            min_batch: 1,
+            max_batch: 128,
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// System architecture.
+    pub arch: Arch,
+    /// Number of nodes (NOW/MPP) or CPUs (SMP).
+    pub nodes: usize,
+    /// Application processes per node (NOW/MPP) or in total (SMP).
+    pub apps_per_node: usize,
+    /// Number of Paradyn daemons (SMP only; NOW/MPP have one per node).
+    pub pds: usize,
+    /// Sampling period in microseconds (mean inter-sample time per
+    /// application process).
+    pub sampling_period_us: f64,
+    /// Sampling timing discipline.
+    pub sampling: SampleTiming,
+    /// Batch size for data forwarding: 1 is the collect-and-forward (CF)
+    /// policy, >1 is batch-and-forward (BF).
+    pub batch: usize,
+    /// Maximum age (µs) a buffered sample may wait before the daemon
+    /// force-flushes a partial batch — bounds BF's batch-accumulation
+    /// latency. `None` = pure count-based batching (the paper's BF).
+    pub batch_timeout_us: Option<f64>,
+    /// Adaptive per-daemon batch regulation; overrides `batch` as the
+    /// running batch size when set (Section 6 extension).
+    pub adaptive: Option<AdaptiveBatch>,
+    /// The application's resource-demand profile (and optional barriers).
+    pub app: AppProfile,
+    /// Replay the application bursts from a traced schedule instead of
+    /// sampling `app`'s distributions (each process starts at a staggered
+    /// offset). The fidelity end of the workload-modelling spectrum — see
+    /// [`ReplaySchedule`].
+    pub replay: Option<Arc<ReplaySchedule>>,
+    /// Whether a barrier arrival also emits an event-trace sample
+    /// (Figure 6's "event of interest" path; drives Figure 28).
+    pub sample_on_barrier: bool,
+    /// ROCC workload parameters.
+    pub params: RoccParams,
+    /// Simulated duration in seconds.
+    pub duration_s: f64,
+    /// Master random seed.
+    pub seed: u64,
+    /// `false` runs the uninstrumented baseline (no sampling, daemons, or
+    /// main process) for the "Uninstrumented" reference curves.
+    pub instrumented: bool,
+    /// Include the PVM daemon and other-process background load.
+    pub background: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            arch: Arch::Now {
+                contention_free: false,
+            },
+            nodes: 8,
+            apps_per_node: 1,
+            pds: 1,
+            sampling_period_us: 40_000.0,
+            sampling: SampleTiming::Exponential,
+            batch: 1,
+            batch_timeout_us: None,
+            adaptive: None,
+            app: paradyn_workload::pvmbt(),
+            replay: None,
+            sample_on_barrier: true,
+            params: RoccParams::default(),
+            duration_s: 50.0,
+            seed: 0x5EED_CAFE,
+            instrumented: true,
+            background: true,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Whether the run uses the CF policy (batch size 1).
+    pub fn is_cf(&self) -> bool {
+        self.batch == 1
+    }
+
+    /// Total application processes in the system.
+    pub fn total_apps(&self) -> usize {
+        match self.arch {
+            Arch::Smp => self.apps_per_node,
+            _ => self.apps_per_node * self.nodes,
+        }
+    }
+
+    /// Number of daemons in the system.
+    pub fn total_pds(&self) -> usize {
+        match self.arch {
+            Arch::Smp => self.pds,
+            _ => self.nodes,
+        }
+    }
+
+    /// Validate invariants; returns a human-readable complaint if invalid.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("need at least one node".into());
+        }
+        if self.apps_per_node == 0 {
+            return Err("need at least one application process".into());
+        }
+        if self.batch == 0 {
+            return Err("batch size must be >= 1".into());
+        }
+        if self.batch > 4096 {
+            return Err("batch size unreasonably large (> 4096)".into());
+        }
+        if self.sampling_period_us <= 0.0 {
+            return Err("sampling period must be positive".into());
+        }
+        if self.duration_s <= 0.0 {
+            return Err("duration must be positive".into());
+        }
+        if self.pds == 0 {
+            return Err("need at least one daemon".into());
+        }
+        if let Arch::Smp = self.arch {
+            if self.pds > self.apps_per_node {
+                return Err("more daemons than application processes".into());
+            }
+        } else if self.pds != 1 {
+            return Err("NOW/MPP run exactly one daemon per node".into());
+        }
+        if matches!(self.arch, Arch::Mpp { forwarding: Forwarding::BinaryTree }) && self.nodes < 2
+        {
+            return Err("tree forwarding needs at least two nodes".into());
+        }
+        if self.params.pipe_capacity < self.batch && self.batch_timeout_us.is_none() {
+            return Err(format!(
+                "pipe capacity {} smaller than batch size {} would deadlock BF \
+                 (set batch_timeout_us to allow partial flushes)",
+                self.params.pipe_capacity, self.batch
+            ));
+        }
+        if let Some(t) = self.batch_timeout_us {
+            if t <= 0.0 {
+                return Err("batch timeout must be positive".into());
+            }
+        }
+        if let Some(a) = &self.adaptive {
+            if a.min_batch == 0 || a.min_batch > a.max_batch {
+                return Err("adaptive batch bounds must satisfy 1 <= min <= max".into());
+            }
+            if a.max_batch > 4096 {
+                return Err("adaptive max batch unreasonably large".into());
+            }
+            if !(0.0..=1.0).contains(&a.target_pd_util) || a.target_pd_util == 0.0 {
+                return Err("adaptive target utilization must be in (0, 1]".into());
+            }
+            if a.interval_us <= 0.0 {
+                return Err("adaptive interval must be positive".into());
+            }
+            if self.params.pipe_capacity < a.max_batch && self.batch_timeout_us.is_none() {
+                return Err(
+                    "adaptive max batch exceeds pipe capacity without a flush timeout".into(),
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_typical_case() {
+        let c = SimConfig::default();
+        c.validate().unwrap();
+        assert!(c.is_cf());
+        assert_eq!(c.total_apps(), 8);
+        assert_eq!(c.total_pds(), 8);
+    }
+
+    #[test]
+    fn smp_counts() {
+        let c = SimConfig {
+            arch: Arch::Smp,
+            nodes: 16,
+            apps_per_node: 32,
+            pds: 4,
+            ..Default::default()
+        };
+        c.validate().unwrap();
+        assert_eq!(c.total_apps(), 32);
+        assert_eq!(c.total_pds(), 4);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let base = SimConfig::default();
+        for (msg, cfg) in [
+            ("nodes", SimConfig { nodes: 0, ..base.clone() }),
+            ("batch", SimConfig { batch: 0, ..base.clone() }),
+            (
+                "period",
+                SimConfig {
+                    sampling_period_us: 0.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "pds on NOW",
+                SimConfig {
+                    pds: 2,
+                    ..base.clone()
+                },
+            ),
+            (
+                "tree with 1 node",
+                SimConfig {
+                    arch: Arch::Mpp {
+                        forwarding: Forwarding::BinaryTree,
+                    },
+                    nodes: 1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "pipe < batch",
+                SimConfig {
+                    batch: 4096,
+                    ..base.clone()
+                },
+            ),
+        ] {
+            assert!(cfg.validate().is_err(), "expected rejection: {msg}");
+        }
+    }
+
+    #[test]
+    fn bf_is_not_cf() {
+        let c = SimConfig {
+            batch: 32,
+            ..Default::default()
+        };
+        assert!(!c.is_cf());
+        c.validate().unwrap();
+    }
+}

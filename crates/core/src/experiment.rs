@@ -1,0 +1,144 @@
+//! Experiment execution: single runs and replicated runs with confidence
+//! intervals (the paper derives means "within 90% confidence intervals from
+//! a sample of fifty values", Section 4.1).
+
+use crate::config::SimConfig;
+use crate::metrics::SimMetrics;
+use crate::model::build;
+use paradyn_des::SimTime;
+use paradyn_stats::{mean_ci, MeanCi};
+
+/// Run one simulation to its configured horizon.
+///
+/// # Panics
+/// Panics on an invalid configuration.
+pub fn run(cfg: &SimConfig) -> SimMetrics {
+    let mut sim = build(cfg);
+    let horizon = SimTime::from_secs_f64(cfg.duration_s);
+    sim.run_until(horizon);
+    let events = sim.executed_events();
+    sim.model.metrics(horizon - SimTime::ZERO, events)
+}
+
+/// Metrics of a replicated experiment: per-replication values plus the
+/// derived confidence intervals for the headline quantities.
+#[derive(Clone, Debug)]
+pub struct Replicated {
+    /// Per-replication metrics, in seed order.
+    pub runs: Vec<SimMetrics>,
+    /// CI for the daemon CPU time per node (s).
+    pub pd_cpu_per_node_s: MeanCi,
+    /// CI for the daemon CPU utilization per node.
+    pub pd_cpu_util_per_node: MeanCi,
+    /// CI for the main-process CPU utilization.
+    pub main_cpu_util: MeanCi,
+    /// CI for the IS CPU utilization per node.
+    pub is_cpu_util_per_node: MeanCi,
+    /// CI for the application CPU utilization per node.
+    pub app_cpu_util_per_node: MeanCi,
+    /// CI for mean monitoring latency (s); replications with no received
+    /// samples are excluded.
+    pub latency_s: MeanCi,
+    /// CI for received-sample throughput (per s).
+    pub throughput_per_s: MeanCi,
+}
+
+/// Run `reps` replications with distinct seeds derived from `cfg.seed`,
+/// reporting means at the given confidence (the paper uses 0.90).
+pub fn run_replicated(cfg: &SimConfig, reps: usize, confidence: f64) -> Replicated {
+    assert!(reps >= 1);
+    let runs: Vec<SimMetrics> = (0..reps)
+        .map(|r| {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(r as u64 + 1));
+            run(&c)
+        })
+        .collect();
+    let col = |f: &dyn Fn(&SimMetrics) -> f64| -> Vec<f64> {
+        runs.iter().map(f).filter(|v| v.is_finite()).collect()
+    };
+    let ci = |xs: Vec<f64>| {
+        if xs.is_empty() {
+            MeanCi {
+                mean: f64::NAN,
+                half_width: f64::NAN,
+                confidence,
+            }
+        } else {
+            mean_ci(&xs, confidence)
+        }
+    };
+    Replicated {
+        pd_cpu_per_node_s: ci(col(&|m| m.pd_cpu_per_node_s)),
+        pd_cpu_util_per_node: ci(col(&|m| m.pd_cpu_util_per_node)),
+        main_cpu_util: ci(col(&|m| m.main_cpu_util)),
+        is_cpu_util_per_node: ci(col(&|m| m.is_cpu_util_per_node)),
+        app_cpu_util_per_node: ci(col(&|m| m.app_cpu_util_per_node)),
+        latency_s: ci(col(&|m| m.latency_mean_s)),
+        throughput_per_s: ci(col(&|m| m.throughput_per_s)),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Arch, SimConfig};
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            arch: Arch::Now {
+                contention_free: true,
+            },
+            nodes: 2,
+            duration_s: 5.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_run_produces_activity() {
+        let m = run(&quick_cfg());
+        assert!(m.events > 1000, "events={}", m.events);
+        assert!(m.generated_samples > 0);
+        assert!(m.received_samples > 0);
+        assert!(m.received_samples <= m.generated_samples);
+        assert!(m.pd_cpu_util_per_node > 0.0);
+        assert!(m.app_cpu_util_per_node > 0.5);
+        assert!(m.latency_mean_s > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = run(&quick_cfg());
+        let b = run(&quick_cfg());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.received_samples, b.received_samples);
+        assert_eq!(a.latency_mean_s, b.latency_mean_s);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(&quick_cfg());
+        let b = run(&SimConfig {
+            seed: 999,
+            ..quick_cfg()
+        });
+        assert_ne!(a.received_samples, b.received_samples);
+    }
+
+    #[test]
+    fn replication_gives_tighter_answer_than_one_run() {
+        let r = run_replicated(&quick_cfg(), 5, 0.90);
+        assert_eq!(r.runs.len(), 5);
+        assert!(r.pd_cpu_util_per_node.mean > 0.0);
+        assert!(r.pd_cpu_util_per_node.half_width >= 0.0);
+        // The CI half width should be small relative to the mean for this
+        // well-behaved metric.
+        assert!(
+            r.app_cpu_util_per_node.relative_precision() < 0.2,
+            "rp={}",
+            r.app_cpu_util_per_node.relative_precision()
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! End-of-run metrics, matching the paper's global- and local-level metric
+//! set (Section 2.1): direct IS overhead (daemon/main CPU time and
+//! utilization), monitoring latency, data-forwarding throughput, and
+//! application CPU utilization.
+
+use crate::config::Arch;
+use crate::model::types::class_idx;
+use crate::model::RoccModel;
+use paradyn_des::SimDur;
+use paradyn_workload::ProcessClass;
+
+/// Aggregated results of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimMetrics {
+    /// Simulated duration (s).
+    pub duration_s: f64,
+    /// Node count (SMP: CPU count).
+    pub nodes: usize,
+    /// Total CPU time by process class (s), summed over all CPUs
+    /// (indexable via [`SimMetrics::cpu_time_s`]).
+    cpu_time_by_class_s: [f64; 5],
+    /// Total network occupancy by class (s).
+    net_time_by_class_s: [f64; 5],
+    /// Paradyn daemon CPU time per node (s) — the paper's "direct
+    /// overhead" (includes tree-merge work).
+    pub pd_cpu_per_node_s: f64,
+    /// Paradyn daemon CPU utilization per node (fraction).
+    pub pd_cpu_util_per_node: f64,
+    /// Main Paradyn process CPU utilization (fraction of its host CPU;
+    /// SMP: of the pool).
+    pub main_cpu_util: f64,
+    /// IS (daemons + main) CPU utilization per node (fraction) — the
+    /// paper's SMP metric.
+    pub is_cpu_util_per_node: f64,
+    /// Application CPU utilization per node (fraction).
+    pub app_cpu_util_per_node: f64,
+    /// Mean monitoring latency per received sample (s), generation to
+    /// receipt, *including* batch-accumulation time; `NaN` when nothing was
+    /// received.
+    pub latency_mean_s: f64,
+    /// Mean forwarding latency per received message (s), batch-ready to
+    /// receipt — the paper's effective NOW/SMP latency metric.
+    pub fwd_latency_mean_s: f64,
+    /// Samples received by the main process.
+    pub received_samples: u64,
+    /// Messages received by the main process.
+    pub received_msgs: u64,
+    /// Samples deposited into pipes.
+    pub generated_samples: u64,
+    /// Received samples per second (the throughput metric).
+    pub throughput_per_s: f64,
+    /// Network utilization (shared medium: busy fraction; contention-free:
+    /// mean per-node link occupancy).
+    pub net_util: f64,
+    /// Deposits that blocked on a full pipe.
+    pub blocked_deposits: u64,
+    /// Barrier release operations.
+    pub barrier_ops: u64,
+    /// Batches forwarded by daemons.
+    pub forwarded_batches: u64,
+    /// Samples forwarded by daemons.
+    pub forwarded_samples: u64,
+    /// Mean of the daemons' batch thresholds at end of run (equals the
+    /// configured batch unless adaptive regulation is active).
+    pub mean_daemon_batch: f64,
+    /// Total adaptive batch adjustments across daemons.
+    pub batch_adjustments: u64,
+    /// Events executed by the simulator.
+    pub events: u64,
+}
+
+impl SimMetrics {
+    /// Total CPU time of one class across all CPUs (s).
+    pub fn cpu_time_s(&self, class: ProcessClass) -> f64 {
+        self.cpu_time_by_class_s[class_idx(class)]
+    }
+
+    /// Total network occupancy of one class (s).
+    pub fn net_time_s(&self, class: ProcessClass) -> f64 {
+        self.net_time_by_class_s[class_idx(class)]
+    }
+
+    /// Build from a finished model.
+    pub(crate) fn from_model(m: &RoccModel, horizon: SimDur, events: u64) -> SimMetrics {
+        let dur = horizon.as_secs_f64();
+        let nodes = m.cfg.nodes;
+        let n = nodes as f64;
+        let mut cpu = [0.0; 5];
+        let mut net = [0.0; 5];
+        for i in 0..5 {
+            cpu[i] = m.acc.cpu_busy_us[i] * 1e-6;
+            net[i] = m.acc.net_busy_us[i] * 1e-6;
+        }
+        let pd = cpu[class_idx(ProcessClass::ParadynDaemon)];
+        let main = cpu[class_idx(ProcessClass::MainParadyn)];
+        let app = cpu[class_idx(ProcessClass::Application)];
+        let (main_util, pd_divisor) = match m.cfg.arch {
+            // SMP: everything shares the pool of `nodes` CPUs (eq. 7–8).
+            Arch::Smp => (main / (n * dur), n),
+            // NOW/MPP: the main process lives on node 0's CPU; the daemon
+            // overhead is averaged per node.
+            _ => (main / dur, n),
+        };
+        let net_total: f64 = net.iter().sum();
+        let net_util = if m.shared_net.is_some() {
+            net_total / dur
+        } else {
+            net_total / (n * dur)
+        };
+        let received = m.acc.received_samples;
+        let (fw_batches, fw_samples) = m.total_forwarded();
+        SimMetrics {
+            duration_s: dur,
+            nodes,
+            cpu_time_by_class_s: cpu,
+            net_time_by_class_s: net,
+            pd_cpu_per_node_s: pd / pd_divisor,
+            pd_cpu_util_per_node: pd / (pd_divisor * dur),
+            main_cpu_util: main_util,
+            is_cpu_util_per_node: (pd + main) / (n * dur),
+            app_cpu_util_per_node: app / (n * dur),
+            latency_mean_s: if received > 0 {
+                m.acc.latency_sum_s / received as f64
+            } else {
+                f64::NAN
+            },
+            fwd_latency_mean_s: if m.acc.received_msgs > 0 {
+                m.acc.fwd_latency_sum_s / m.acc.received_msgs as f64
+            } else {
+                f64::NAN
+            },
+            received_samples: received,
+            received_msgs: m.acc.received_msgs,
+            generated_samples: m.acc.generated_samples,
+            throughput_per_s: if dur > 0.0 {
+                received as f64 / dur
+            } else {
+                0.0
+            },
+            net_util,
+            blocked_deposits: m.total_blocked_deposits(),
+            barrier_ops: m.acc.barrier_ops,
+            forwarded_batches: fw_batches,
+            forwarded_samples: fw_samples,
+            mean_daemon_batch: m.mean_daemon_batch(),
+            batch_adjustments: m.total_batch_adjustments(),
+            events,
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Application-process behaviour: the two-state computation/communication
+//! loop (Figure 7), instrumentation sampling with pipe blocking, and global
+//! synchronization barriers.
+
+use super::types::{AppId, CpuJob, CpuKind, Ev, NetJob};
+use super::{RoccModel, Step};
+use crate::pipe::Deposit;
+use paradyn_des::Ctx;
+use paradyn_workload::ProcessClass;
+
+impl RoccModel {
+    /// Begin the given step for `app`, unless its pipe writer is blocked —
+    /// in which case the process pauses and resumes when the daemon drains
+    /// the pipe.
+    pub(crate) fn app_start_step(&mut self, ctx: &mut Ctx<Ev>, app: AppId, step: Step) {
+        let a = &mut self.apps[app as usize];
+        if a.pipe.writer_blocked() {
+            a.paused = Some(step);
+            return;
+        }
+        match step {
+            Step::Compute => {
+                let demand = match &self.cfg.replay {
+                    Some(r) => {
+                        let d = r.cpu_at(a.replay_cpu_pos);
+                        a.replay_cpu_pos += 1;
+                        d
+                    }
+                    None => self.cfg.app.cpu_req.sample(&mut a.cpu_rng),
+                };
+                a.current_burst_us = demand;
+                let node = a.node;
+                self.submit_cpu(
+                    ctx,
+                    self.bank_of(node),
+                    CpuJob {
+                        class: ProcessClass::Application,
+                        kind: CpuKind::AppCompute { app },
+                    },
+                    demand,
+                );
+            }
+            Step::Comm => {
+                let demand = match &self.cfg.replay {
+                    Some(r) => {
+                        let d = r.net_at(a.replay_net_pos);
+                        a.replay_net_pos += 1;
+                        d
+                    }
+                    None => self.cfg.app.net_req.sample(&mut a.net_rng),
+                };
+                self.submit_net(ctx, NetJob::AppComm { app }, demand);
+            }
+        }
+    }
+
+    /// A computation burst finished: account barrier progress, then either
+    /// join the barrier or start communicating.
+    pub(crate) fn app_compute_done(&mut self, ctx: &mut Ctx<Ev>, app: AppId) {
+        let a = &mut self.apps[app as usize];
+        a.work_since_barrier_us += a.current_burst_us;
+        a.current_burst_us = 0.0;
+        match self.cfg.app.barrier_period_us {
+            Some(period) if a.work_since_barrier_us >= period => {
+                self.join_barrier(ctx, app)
+            }
+            _ => self.app_start_step(ctx, app, Step::Comm),
+        }
+    }
+
+    /// A communication burst finished: loop back to computation.
+    pub(crate) fn app_comm_done(&mut self, ctx: &mut Ctx<Ev>, app: AppId) {
+        self.app_start_step(ctx, app, Step::Compute);
+    }
+
+    /// The process reaches the global barrier. The barrier operation is an
+    /// "event of interest" (Figure 6), so with `sample_on_barrier` it also
+    /// emits an event-trace sample. When the last process arrives, everyone
+    /// is released into their communication step.
+    fn join_barrier(&mut self, ctx: &mut Ctx<Ev>, app: AppId) {
+        {
+            let a = &mut self.apps[app as usize];
+            debug_assert!(!a.at_barrier, "double barrier join");
+            a.at_barrier = true;
+        }
+        self.barrier_waiting.push(app);
+        if self.cfg.sample_on_barrier && self.cfg.instrumented {
+            // A blocked writer cannot emit the event record.
+            if !self.apps[app as usize].pipe.writer_blocked() {
+                self.deposit_sample(ctx, app);
+            }
+        }
+        if self.barrier_waiting.len() == self.apps.len() {
+            self.acc.barrier_ops += 1;
+            let released = std::mem::take(&mut self.barrier_waiting);
+            for w in released {
+                let a = &mut self.apps[w as usize];
+                a.at_barrier = false;
+                a.work_since_barrier_us = 0.0;
+                self.app_start_step(ctx, w, Step::Comm);
+            }
+        }
+    }
+
+    /// The sampling timer fired: deposit a sample. If the pipe is full the
+    /// writer blocks — the timer stops until the daemon drains the pipe.
+    pub(crate) fn sample_timer_fired(&mut self, ctx: &mut Ctx<Ev>, app: AppId) {
+        self.deposit_sample(ctx, app);
+        if self.apps[app as usize].pipe.writer_blocked() {
+            self.apps[app as usize].sampling_active = false;
+        } else {
+            self.schedule_next_sample(ctx, app);
+        }
+    }
+
+    /// Deposit one sample generated now into `app`'s pipe, waking the
+    /// daemon if it can start a collection cycle.
+    pub(crate) fn deposit_sample(&mut self, ctx: &mut Ctx<Ev>, app: AppId) {
+        let now = ctx.now();
+        let a = &mut self.apps[app as usize];
+        if a.pipe.writer_blocked() {
+            // Already blocked on an earlier sample; drop this event record
+            // (the writer is stuck inside the earlier write).
+            return;
+        }
+        let pd = a.pd;
+        match a.pipe.deposit(now) {
+            Deposit::Accepted => {
+                self.acc.generated_samples += 1;
+                self.daemons[pd as usize].fifo.push_back((now, app));
+                self.maybe_collect(ctx, pd);
+            }
+            Deposit::WouldBlock => {
+                // Writer blocks; the daemon's next drain will admit the
+                // parked sample and resume the process.
+            }
+        }
+    }
+}

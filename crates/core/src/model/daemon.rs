@@ -1,0 +1,230 @@
+//! Paradyn-daemon behaviour: collection cycles under the CF/BF policies,
+//! pipe draining with writer wake-up, and direct or binary-tree forwarding
+//! with en-route merging.
+
+use super::types::{tree_parent, Batch, CpuJob, CpuKind, Dest, Ev, NetJob, PdId, Token};
+use super::{RoccModel, Step};
+use crate::config::{Arch, Forwarding};
+use paradyn_des::Ctx;
+use paradyn_workload::ProcessClass;
+
+impl RoccModel {
+    /// Start a collection cycle if the daemon is idle and a full batch is
+    /// buffered (CF is BF with batch = 1); otherwise arm the partial-batch
+    /// flush timer, if configured.
+    pub(crate) fn maybe_collect(&mut self, ctx: &mut Ctx<Ev>, pd: PdId) {
+        if !self.try_collect(ctx, pd, false) {
+            self.arm_flush_timer(ctx, pd);
+        }
+    }
+
+    /// Attempt to start a collection cycle. With `force`, a non-empty
+    /// partial batch is collected (the flush-timeout path). Returns whether
+    /// a cycle started.
+    fn try_collect(&mut self, ctx: &mut Ctx<Ev>, pd: PdId, force: bool) -> bool {
+        let d = &mut self.daemons[pd as usize];
+        if d.collecting {
+            return false;
+        }
+        let threshold = d.batch;
+        let avail = d.fifo.len();
+        let k = if avail >= threshold {
+            threshold
+        } else if force && avail > 0 {
+            avail
+        } else {
+            return false;
+        };
+        let mut count = 0u32;
+        let mut sum_gen_ns = 0u64;
+        let mut drain_apps = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (gen, app) = d.fifo.pop_front().expect("checked len");
+            count += 1;
+            sum_gen_ns += gen.as_nanos();
+            drain_apps.push(app);
+        }
+        d.collecting = true;
+        // Invalidate any armed flush timer; the buffer head changed.
+        d.flush_gen = d.flush_gen.wrapping_add(1);
+        let p = &self.cfg.params;
+        let demand = p.pd.cpu_req.sample(&mut d.cpu_rng)
+            + p.pd_cpu_per_extra_sample_us * (count as f64 - 1.0);
+        let node = d.node;
+        let token = self.alloc_token(Batch {
+            count,
+            sum_gen_ns,
+            ready_ns: ctx.now().as_nanos(),
+            drain_apps,
+        });
+        self.submit_cpu(
+            ctx,
+            self.bank_of(node),
+            CpuJob {
+                class: ProcessClass::ParadynDaemon,
+                kind: CpuKind::PdCollect { pd, token },
+            },
+            demand,
+        );
+        true
+    }
+
+    /// Arm (or re-arm) the partial-batch flush timer at
+    /// `oldest buffered sample + timeout`.
+    fn arm_flush_timer(&mut self, ctx: &mut Ctx<Ev>, pd: PdId) {
+        let Some(timeout_us) = self.cfg.batch_timeout_us else {
+            return;
+        };
+        let d = &mut self.daemons[pd as usize];
+        if d.collecting {
+            return;
+        }
+        let Some(&(oldest, _)) = d.fifo.front() else {
+            return;
+        };
+        d.flush_gen = d.flush_gen.wrapping_add(1);
+        let deadline = (oldest + paradyn_des::SimDur::from_micros_f64(timeout_us))
+            .max(ctx.now());
+        ctx.schedule_at(
+            deadline,
+            Ev::FlushTimeout {
+                pd,
+                gen: d.flush_gen,
+            },
+        );
+    }
+
+    /// A flush timer fired: collect the waiting partial batch unless the
+    /// timer is stale.
+    pub(crate) fn flush_timeout(&mut self, ctx: &mut Ctx<Ev>, pd: PdId, gen: u32) {
+        if self.daemons[pd as usize].flush_gen != gen {
+            return;
+        }
+        self.try_collect(ctx, pd, true);
+    }
+
+    /// Adaptive regulation tick: compare this daemon's CPU utilization over
+    /// the interval against the budget and adjust its batch threshold
+    /// (Section 6 extension; see [`crate::config::AdaptiveBatch`]).
+    pub(crate) fn adapt_tick(&mut self, ctx: &mut Ctx<Ev>, pd: PdId) {
+        let a = self.cfg.adaptive.expect("AdaptTick only scheduled when adaptive");
+        let d = &mut self.daemons[pd as usize];
+        let used = d.cpu_used_us - d.cpu_at_last_tick_us;
+        d.cpu_at_last_tick_us = d.cpu_used_us;
+        let util = used / a.interval_us;
+        let old = d.batch;
+        if util > a.target_pd_util {
+            d.batch = (d.batch * 2).min(a.max_batch);
+        } else if util < 0.5 * a.target_pd_util {
+            d.batch = (d.batch / 2).max(a.min_batch);
+        }
+        if d.batch != old {
+            d.batch_adjustments += 1;
+            // A lower threshold may make the buffered backlog collectable.
+            self.maybe_collect(ctx, pd);
+        }
+        ctx.schedule_in(
+            paradyn_des::SimDur::from_micros_f64(a.interval_us),
+            Ev::AdaptTick { pd },
+        );
+    }
+
+    /// The collect CPU work finished: the pipe reads have happened, so
+    /// drain the pipes (admitting parked samples and resuming blocked
+    /// writers), then put the batch on the network.
+    pub(crate) fn pd_collect_done(&mut self, ctx: &mut Ctx<Ev>, pd: PdId, token: Token) {
+        let drain_apps = std::mem::take(
+            &mut self
+                .tokens
+                .get_mut(&token)
+                .expect("collect token live")
+                .drain_apps,
+        );
+        for app in drain_apps {
+            self.drain_one(ctx, app);
+        }
+        let (count, node) = {
+            let d = &mut self.daemons[pd as usize];
+            d.collecting = false;
+            let count = self.tokens[&token].count;
+            d.forwarded_batches += 1;
+            d.forwarded_samples += count as u64;
+            (count, d.node)
+        };
+        let p = &self.cfg.params;
+        let demand = p.pd.net_req.sample(&mut self.daemons[pd as usize].net_rng)
+            + p.pd_net_per_extra_sample_us * (count as f64 - 1.0);
+        let dest = self.forward_dest(node);
+        self.submit_net(ctx, NetJob::Forward { token, dest }, demand);
+        // The daemon is free again; more samples may already be buffered.
+        self.maybe_collect(ctx, pd);
+    }
+
+    /// Where a daemon on `node` sends its next hop.
+    fn forward_dest(&self, node: u32) -> Dest {
+        match self.cfg.arch {
+            Arch::Mpp {
+                forwarding: Forwarding::BinaryTree,
+            } if node != 0 => Dest::Node(tree_parent(node)),
+            _ => Dest::Main,
+        }
+    }
+
+    /// Consume one pipe slot of `app`; if a parked sample was waiting, admit
+    /// it and resume the blocked writer (timer and paused step).
+    fn drain_one(&mut self, ctx: &mut Ctx<Ev>, app: u32) {
+        let a = &mut self.apps[app as usize];
+        let pd = a.pd;
+        if let Some(gen) = a.pipe.drain() {
+            self.acc.generated_samples += 1;
+            let resume = a.paused.take();
+            let restart_timer = !a.sampling_active;
+            self.daemons[pd as usize].fifo.push_back((gen, app));
+            if restart_timer {
+                self.schedule_next_sample(ctx, app);
+            }
+            match resume {
+                Some(Step::Compute) => self.app_start_step(ctx, app, Step::Compute),
+                Some(Step::Comm) => self.app_start_step(ctx, app, Step::Comm),
+                None => {}
+            }
+        }
+    }
+
+    /// A forwarded message arrived at a non-leaf tree node: charge the merge
+    /// CPU work (`D_Pdm,CPU`).
+    pub(crate) fn pd_merge_start(&mut self, ctx: &mut Ctx<Ev>, node: u32, token: Token) {
+        let demand = self
+            .cfg
+            .params
+            .pdm_cpu
+            .sample(&mut self.daemons[node as usize].merge_rng);
+        self.submit_cpu(
+            ctx,
+            self.bank_of(node),
+            CpuJob {
+                class: ProcessClass::ParadynDaemon,
+                kind: CpuKind::PdMerge { node, token },
+            },
+            demand,
+        );
+    }
+
+    /// Merge work done: relay the merged message one hop up. Per the paper,
+    /// "the network occupancy needed for forwarding a merged sample is the
+    /// same as for forwarding a local sample" — no batch marginal here.
+    pub(crate) fn pd_merge_done(&mut self, ctx: &mut Ctx<Ev>, node: u32, token: Token) {
+        let demand = self
+            .cfg
+            .params
+            .pd
+            .net_req
+            .sample(&mut self.daemons[node as usize].net_rng);
+        let dest = if node == 0 {
+            Dest::Main
+        } else {
+            Dest::Node(tree_parent(node))
+        };
+        self.submit_net(ctx, NetJob::Forward { token, dest }, demand);
+    }
+}

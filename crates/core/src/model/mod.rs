@@ -1,0 +1,533 @@
+//! The ROCC discrete-event model of the Paradyn instrumentation system —
+//! the executable form of the paper's Figure 5.
+//!
+//! One [`RoccModel`] instance simulates the whole system:
+//!
+//! * a round-robin quantum CPU bank per node (NOW/MPP) or one pooled bank
+//!   (SMP);
+//! * a network: shared-Ethernet FCFS (NOW), shared-bus FCFS (SMP), or
+//!   contention-free delay links (MPP / the "contention-free" NOW variant);
+//! * application processes alternating computation and communication
+//!   (Figure 7), emitting instrumentation samples into bounded pipes;
+//! * Paradyn daemons collecting pipes and forwarding under the CF or BF
+//!   policy, directly or along a binary merge tree;
+//! * the main Paradyn process consuming messages on node 0;
+//! * PVM-daemon and other-process background load.
+
+mod app;
+mod background;
+mod daemon;
+#[cfg(test)]
+mod tests;
+pub mod types;
+
+use crate::config::{Arch, SampleTiming, SimConfig};
+use crate::metrics::SimMetrics;
+use crate::pipe::Pipe;
+use paradyn_des::{
+    Ctx, FcfsServer, Model, Offer, RrCpuBank, Sim, SimDur, SimTime, StreamRng, Streams, Submit,
+};
+use paradyn_workload::ProcessClass;
+use std::collections::{HashMap, VecDeque};
+use types::{class_idx, AppId, Batch, CpuJob, CpuKind, Dest, Ev, NetJob, PdId, Token};
+
+/// Stream-id kinds for reproducible per-element randomness.
+mod stream_kind {
+    pub const APP_CPU: u64 = 1;
+    pub const APP_NET: u64 = 2;
+    pub const APP_SAMPLE: u64 = 3;
+    pub const PD_CPU: u64 = 4;
+    pub const PD_NET: u64 = 5;
+    pub const PD_MERGE: u64 = 6;
+    pub const PVMD: u64 = 7;
+    pub const OTHER_CPU: u64 = 8;
+    pub const OTHER_NET: u64 = 9;
+    pub const MAIN: u64 = 10;
+}
+
+/// One application process's simulation state.
+pub(crate) struct AppProc {
+    /// Home node.
+    pub node: u32,
+    /// Owning daemon.
+    pub pd: PdId,
+    /// Randomness for CPU bursts.
+    pub cpu_rng: StreamRng,
+    /// Randomness for communication bursts.
+    pub net_rng: StreamRng,
+    /// Randomness for sample timing.
+    pub sample_rng: StreamRng,
+    /// Pipe to the daemon.
+    pub pipe: Pipe,
+    /// Step the process will resume with once its blocked pipe write
+    /// completes.
+    pub paused: Option<Step>,
+    /// Whether the sampling timer is currently scheduled.
+    pub sampling_active: bool,
+    /// CPU work accumulated since the last barrier (µs).
+    pub work_since_barrier_us: f64,
+    /// Demand of the burst currently on the CPU (µs), for barrier
+    /// accounting at completion.
+    pub current_burst_us: f64,
+    /// Whether the process is waiting at the barrier.
+    pub at_barrier: bool,
+    /// Next replay position for CPU bursts (replay mode only).
+    pub replay_cpu_pos: u64,
+    /// Next replay position for network bursts (replay mode only).
+    pub replay_net_pos: u64,
+}
+
+/// What an application process does next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// Start a computation burst.
+    Compute,
+    /// Start a communication burst.
+    Comm,
+}
+
+/// One Paradyn daemon's simulation state.
+pub(crate) struct Daemon {
+    /// Node whose CPU bank runs this daemon (SMP: bank 0).
+    pub node: u32,
+    /// Randomness for collect/forward CPU demands.
+    pub cpu_rng: StreamRng,
+    /// Randomness for network occupancy demands.
+    pub net_rng: StreamRng,
+    /// Randomness for merge work.
+    pub merge_rng: StreamRng,
+    /// FIFO of deposited samples `(generation time, app)` awaiting
+    /// collection.
+    pub fifo: VecDeque<(SimTime, AppId)>,
+    /// Whether a collect CPU request is in flight (the daemon is a single
+    /// process: one cycle at a time).
+    pub collecting: bool,
+    /// Current batch threshold (fixed = config batch; adaptive regulation
+    /// adjusts it per daemon).
+    pub batch: usize,
+    /// Flush-timer generation; timers with a stale generation are ignored.
+    pub flush_gen: u32,
+    /// Cumulative CPU time consumed by this daemon (µs).
+    pub cpu_used_us: f64,
+    /// CPU reading at the last adaptive control tick (µs).
+    pub cpu_at_last_tick_us: f64,
+    /// Number of adaptive batch adjustments made.
+    pub batch_adjustments: u64,
+    /// Batches forwarded so far.
+    pub forwarded_batches: u64,
+    /// Samples forwarded so far.
+    pub forwarded_samples: u64,
+}
+
+/// Internal metric accumulators.
+#[derive(Default)]
+pub(crate) struct Acc {
+    /// CPU busy time by class (µs).
+    pub cpu_busy_us: [f64; 5],
+    /// Network occupancy by class (µs).
+    pub net_busy_us: [f64; 5],
+    /// Sum of per-sample monitoring latencies (s).
+    pub latency_sum_s: f64,
+    /// Sum of per-message forwarding latencies (batch-ready to receipt, s).
+    pub fwd_latency_sum_s: f64,
+    /// Samples received at the main process.
+    pub received_samples: u64,
+    /// Messages received at the main process.
+    pub received_msgs: u64,
+    /// Samples deposited into pipes.
+    pub generated_samples: u64,
+    /// Barrier release operations.
+    pub barrier_ops: u64,
+}
+
+/// The full system model.
+pub struct RoccModel {
+    pub(crate) cfg: SimConfig,
+    pub(crate) banks: Vec<RrCpuBank<CpuJob>>,
+    /// Shared FCFS network (NOW shared Ethernet / SMP bus); `None` for
+    /// contention-free interconnects.
+    pub(crate) shared_net: Option<FcfsServer<NetJob>>,
+    pub(crate) apps: Vec<AppProc>,
+    pub(crate) daemons: Vec<Daemon>,
+    pub(crate) tokens: HashMap<Token, Batch>,
+    pub(crate) next_token: Token,
+    pub(crate) barrier_waiting: Vec<AppId>,
+    pub(crate) main_rng: StreamRng,
+    pub(crate) pvmd_rngs: Vec<StreamRng>,
+    pub(crate) other_rngs: Vec<StreamRng>,
+    pub(crate) acc: Acc,
+}
+
+impl RoccModel {
+    /// Construct the model for a configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`SimConfig::validate`]).
+    pub fn new(cfg: SimConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
+        let streams = Streams::new(cfg.seed);
+        let quantum = SimDur::from_micros_f64(cfg.params.quantum_us);
+        let banks = match cfg.arch {
+            Arch::Smp => vec![RrCpuBank::new(cfg.nodes, quantum)],
+            _ => (0..cfg.nodes)
+                .map(|_| RrCpuBank::new(1, quantum))
+                .collect(),
+        };
+        let shared_net = match cfg.arch {
+            Arch::Now {
+                contention_free: false,
+            }
+            | Arch::Smp => Some(FcfsServer::new()),
+            _ => None,
+        };
+
+        let total_apps = cfg.total_apps();
+        let total_pds = cfg.total_pds();
+        let apps = (0..total_apps as u32)
+            .map(|gi| {
+                let (node, pd) = match cfg.arch {
+                    Arch::Smp => (0, gi % total_pds as u32),
+                    _ => {
+                        let node = gi / cfg.apps_per_node as u32;
+                        (node, node)
+                    }
+                };
+                AppProc {
+                    node,
+                    pd,
+                    cpu_rng: streams.stream3(stream_kind::APP_CPU, gi as u64, 0),
+                    net_rng: streams.stream3(stream_kind::APP_NET, gi as u64, 0),
+                    sample_rng: streams.stream3(stream_kind::APP_SAMPLE, gi as u64, 0),
+                    pipe: Pipe::new(cfg.params.pipe_capacity),
+                    paused: None,
+                    sampling_active: false,
+                    work_since_barrier_us: 0.0,
+                    current_burst_us: 0.0,
+                    at_barrier: false,
+                    // Stagger replay starting points so processes are not
+                    // in lockstep.
+                    replay_cpu_pos: gi as u64 * 1009,
+                    replay_net_pos: gi as u64 * 1013,
+                }
+            })
+            .collect();
+        let daemons = (0..total_pds as u32)
+            .map(|pd| Daemon {
+                node: match cfg.arch {
+                    Arch::Smp => 0,
+                    _ => pd,
+                },
+                cpu_rng: streams.stream3(stream_kind::PD_CPU, pd as u64, 0),
+                net_rng: streams.stream3(stream_kind::PD_NET, pd as u64, 0),
+                merge_rng: streams.stream3(stream_kind::PD_MERGE, pd as u64, 0),
+                fifo: VecDeque::new(),
+                collecting: false,
+                batch: match &cfg.adaptive {
+                    Some(a) => cfg.batch.clamp(a.min_batch, a.max_batch),
+                    None => cfg.batch,
+                },
+                flush_gen: 0,
+                cpu_used_us: 0.0,
+                cpu_at_last_tick_us: 0.0,
+                batch_adjustments: 0,
+                forwarded_batches: 0,
+                forwarded_samples: 0,
+            })
+            .collect();
+        let bg_nodes = match cfg.arch {
+            Arch::Smp => 1,
+            _ => cfg.nodes,
+        };
+        RoccModel {
+            main_rng: streams.stream3(stream_kind::MAIN, 0, 0),
+            pvmd_rngs: (0..bg_nodes)
+                .map(|n| streams.stream3(stream_kind::PVMD, n as u64, 0))
+                .collect(),
+            other_rngs: (0..bg_nodes)
+                .map(|n| {
+                    streams.stream3(
+                        stream_kind::OTHER_CPU ^ stream_kind::OTHER_NET,
+                        n as u64,
+                        0,
+                    )
+                })
+                .collect(),
+            cfg,
+            banks,
+            shared_net,
+            apps,
+            daemons,
+            tokens: HashMap::new(),
+            next_token: 0,
+            barrier_waiting: vec![],
+            acc: Acc::default(),
+        }
+    }
+
+    /// Which CPU bank serves a node.
+    #[inline]
+    pub(crate) fn bank_of(&self, node: u32) -> u32 {
+        match self.cfg.arch {
+            Arch::Smp => 0,
+            _ => node,
+        }
+    }
+
+    /// Submit a CPU occupancy request, scheduling the slice event if it
+    /// dispatched immediately.
+    pub(crate) fn submit_cpu(
+        &mut self,
+        ctx: &mut Ctx<Ev>,
+        bank: u32,
+        job: CpuJob,
+        demand_us: f64,
+    ) {
+        let demand = SimDur::from_micros_f64(demand_us);
+        match self.banks[bank as usize].submit(job, demand) {
+            Submit::Dispatched { cpu, slice } => {
+                ctx.schedule_in(slice, Ev::Slice { bank, cpu: cpu as u32 });
+            }
+            Submit::Queued(_) => {}
+        }
+    }
+
+    /// Submit a network occupancy request. On a shared medium it queues
+    /// FCFS; on a contention-free interconnect it is a pure delay. The SMP
+    /// bus serves occupancies `smp_bus_speedup` times faster than the
+    /// Ethernet the demands were measured on.
+    pub(crate) fn submit_net(&mut self, ctx: &mut Ctx<Ev>, job: NetJob, demand_us: f64) {
+        let demand_us = match self.cfg.arch {
+            Arch::Smp => demand_us / self.cfg.params.smp_bus_speedup,
+            _ => demand_us,
+        };
+        self.acc.net_busy_us[class_idx(job.class())] += demand_us;
+        let demand = SimDur::from_micros_f64(demand_us);
+        match &mut self.shared_net {
+            Some(server) => {
+                if let Offer::Started(d) = server.submit(ctx.now(), job, demand) {
+                    ctx.schedule_in(d, Ev::NetDone);
+                }
+            }
+            None => {
+                ctx.schedule_in(demand, Ev::Deliver(job));
+            }
+        }
+    }
+
+    /// Allocate a batch token.
+    pub(crate) fn alloc_token(&mut self, batch: Batch) -> Token {
+        let t = self.next_token;
+        self.next_token = self.next_token.wrapping_add(1);
+        self.tokens.insert(t, batch);
+        t
+    }
+
+    /// A CPU request finished; run its continuation.
+    fn cpu_completed(&mut self, ctx: &mut Ctx<Ev>, job: CpuJob) {
+        match job.kind {
+            CpuKind::AppCompute { app } => self.app_compute_done(ctx, app),
+            CpuKind::PdCollect { pd, token } => self.pd_collect_done(ctx, pd, token),
+            CpuKind::PdMerge { node, token } => self.pd_merge_done(ctx, node, token),
+            CpuKind::MainRecv { token } => self.main_recv_done(ctx, token),
+            CpuKind::PvmdCpu { node } => {
+                let d = self.cfg.params.pvmd.net_req.sample(&mut self.pvmd_rngs[node as usize]);
+                self.submit_net(ctx, NetJob::PvmdNet, d);
+            }
+            CpuKind::OtherCpu => {}
+        }
+    }
+
+    /// A network occupancy ended; the payload arrives.
+    fn delivered(&mut self, ctx: &mut Ctx<Ev>, job: NetJob) {
+        match job {
+            NetJob::AppComm { app } => self.app_comm_done(ctx, app),
+            NetJob::Forward { token, dest } => match dest {
+                Dest::Main => self.main_receive(ctx, token),
+                Dest::Node(node) => self.pd_merge_start(ctx, node, token),
+            },
+            NetJob::PvmdNet | NetJob::OtherNet => {}
+        }
+    }
+
+    /// A message arrives at the main process's node: charge the per-message
+    /// CPU work on the host bank. Receipt (for latency/throughput) counts
+    /// when that processing completes — the sample has then truly reached
+    /// the "logically central collection facility".
+    fn main_receive(&mut self, ctx: &mut Ctx<Ev>, token: Token) {
+        let count = self.tokens[&token].count;
+        let p = &self.cfg.params;
+        let demand = p.main_cpu_per_msg.sample(&mut self.main_rng)
+            + p.main_cpu_per_extra_sample_us * (count as f64 - 1.0);
+        self.submit_cpu(
+            ctx,
+            self.bank_of(0),
+            CpuJob {
+                class: ProcessClass::MainParadyn,
+                kind: CpuKind::MainRecv { token },
+            },
+            demand,
+        );
+    }
+
+    /// Main-process handling finished: the batch is consumed.
+    fn main_recv_done(&mut self, ctx: &mut Ctx<Ev>, token: Token) {
+        let batch = self
+            .tokens
+            .remove(&token)
+            .expect("consumed token must be live");
+        self.acc.latency_sum_s += batch.mean_latency_s(ctx.now()) * batch.count as f64;
+        self.acc.fwd_latency_sum_s += batch.forwarding_latency_s(ctx.now());
+        self.acc.received_samples += batch.count as u64;
+        self.acc.received_msgs += 1;
+    }
+
+    /// Extract end-of-run metrics. `horizon` is the simulated duration the
+    /// run actually covered.
+    pub fn metrics(&self, horizon: SimDur, events: u64) -> SimMetrics {
+        SimMetrics::from_model(self, horizon, events)
+    }
+
+    pub(crate) fn total_blocked_deposits(&self) -> u64 {
+        self.apps.iter().map(|a| a.pipe.blocked_deposits()).sum()
+    }
+
+    pub(crate) fn mean_daemon_batch(&self) -> f64 {
+        self.daemons.iter().map(|d| d.batch as f64).sum::<f64>() / self.daemons.len() as f64
+    }
+
+    pub(crate) fn total_batch_adjustments(&self) -> u64 {
+        self.daemons.iter().map(|d| d.batch_adjustments).sum()
+    }
+
+    pub(crate) fn total_forwarded(&self) -> (u64, u64) {
+        let b = self.daemons.iter().map(|d| d.forwarded_batches).sum();
+        let s = self.daemons.iter().map(|d| d.forwarded_samples).sum();
+        (b, s)
+    }
+}
+
+impl Model for RoccModel {
+    type Event = Ev;
+
+    fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+        match ev {
+            Ev::Init => self.init(ctx),
+            Ev::Slice { bank, cpu } => {
+                let end = self.banks[bank as usize].slice_end(cpu as usize);
+                self.acc.cpu_busy_us[class_idx(end.job.class)] += end.ran.as_micros_f64();
+                // Per-daemon attribution for adaptive regulation.
+                match end.job.kind {
+                    CpuKind::PdCollect { pd, .. } => {
+                        self.daemons[pd as usize].cpu_used_us += end.ran.as_micros_f64();
+                    }
+                    CpuKind::PdMerge { node, .. } => {
+                        self.daemons[node as usize].cpu_used_us += end.ran.as_micros_f64();
+                    }
+                    _ => {}
+                }
+                if let Some(slice) = end.next_slice {
+                    ctx.schedule_in(slice, Ev::Slice { bank, cpu });
+                }
+                if end.completed {
+                    self.cpu_completed(ctx, end.job);
+                }
+            }
+            Ev::NetDone => {
+                let server = self.shared_net.as_mut().expect("NetDone without server");
+                let (job, _svc, next) = server.complete(ctx.now());
+                if let Some(d) = next {
+                    ctx.schedule_in(d, Ev::NetDone);
+                }
+                self.delivered(ctx, job);
+            }
+            Ev::Deliver(job) => self.delivered(ctx, job),
+            Ev::Sample { app } => self.sample_timer_fired(ctx, app),
+            Ev::PvmdArrival { node } => self.pvmd_arrival(ctx, node),
+            Ev::FlushTimeout { pd, gen } => self.flush_timeout(ctx, pd, gen),
+            Ev::AdaptTick { pd } => self.adapt_tick(ctx, pd),
+            Ev::OtherCpuArrival { node } => self.other_cpu_arrival(ctx, node),
+            Ev::OtherNetArrival { node } => self.other_net_arrival(ctx, node),
+        }
+    }
+}
+
+impl RoccModel {
+    /// Seed the time-zero activity: application loops, sampling timers,
+    /// and background sources.
+    fn init(&mut self, ctx: &mut Ctx<Ev>) {
+        for app in 0..self.apps.len() as u32 {
+            self.app_start_step(ctx, app, Step::Compute);
+            if self.cfg.instrumented {
+                self.schedule_next_sample(ctx, app);
+            }
+        }
+        if self.cfg.instrumented {
+            if let Some(a) = self.cfg.adaptive {
+                let interval = SimDur::from_micros_f64(a.interval_us);
+                for pd in 0..self.daemons.len() as u32 {
+                    ctx.schedule_in(interval, Ev::AdaptTick { pd });
+                }
+            }
+        }
+        if self.cfg.background {
+            for node in 0..self.pvmd_rngs.len() as u32 {
+                let d = self.draw_interarrival(node, BgKind::Pvmd);
+                ctx.schedule_in(d, Ev::PvmdArrival { node });
+                let d = self.draw_interarrival(node, BgKind::OtherCpu);
+                ctx.schedule_in(d, Ev::OtherCpuArrival { node });
+                let d = self.draw_interarrival(node, BgKind::OtherNet);
+                ctx.schedule_in(d, Ev::OtherNetArrival { node });
+            }
+        }
+    }
+
+    /// Schedule the next sampling-timer firing for `app`.
+    pub(crate) fn schedule_next_sample(&mut self, ctx: &mut Ctx<Ev>, app: AppId) {
+        let a = &mut self.apps[app as usize];
+        let period = self.cfg.sampling_period_us;
+        let gap = match self.cfg.sampling {
+            SampleTiming::Exponential => {
+                paradyn_stats::Rv::exp(period).sample(&mut a.sample_rng)
+            }
+            SampleTiming::Periodic => period,
+        };
+        a.sampling_active = true;
+        ctx.schedule_in(SimDur::from_micros_f64(gap), Ev::Sample { app });
+    }
+}
+
+/// Background source kinds (for inter-arrival draws).
+#[derive(Clone, Copy)]
+pub(crate) enum BgKind {
+    Pvmd,
+    OtherCpu,
+    OtherNet,
+}
+
+impl RoccModel {
+    pub(crate) fn draw_interarrival(&mut self, node: u32, kind: BgKind) -> SimDur {
+        let p = &self.cfg.params;
+        let us = match kind {
+            BgKind::Pvmd => p
+                .pvmd_interarrival
+                .sample(&mut self.pvmd_rngs[node as usize]),
+            BgKind::OtherCpu => p
+                .other_cpu_interarrival
+                .sample(&mut self.other_rngs[node as usize]),
+            BgKind::OtherNet => p
+                .other_net_interarrival
+                .sample(&mut self.other_rngs[node as usize]),
+        };
+        SimDur::from_micros_f64(us)
+    }
+}
+
+/// Build a ready-to-run simulation: the model plus its `Init` event.
+pub fn build(cfg: &SimConfig) -> Sim<RoccModel> {
+    let mut sim = Sim::new(RoccModel::new(cfg.clone()));
+    sim.ctx().schedule_at(SimTime::ZERO, Ev::Init);
+    sim
+}

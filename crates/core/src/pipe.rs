@@ -1,0 +1,155 @@
+//! The bounded Unix pipe between an instrumented application process and
+//! its Paradyn daemon.
+//!
+//! Samples are deposited by the application's instrumentation; the daemon
+//! drains them when it runs. A deposit into a full pipe blocks the writer —
+//! the mechanism behind the application-CPU collapse at small sampling
+//! periods in the paper's Figure 23 ("when the pipe is full, the
+//! application process that generates a sample is blocked until the daemon
+//! is able to forward outstanding data samples").
+
+use paradyn_des::SimTime;
+
+/// Result of attempting a deposit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Deposit {
+    /// The sample was accepted.
+    Accepted,
+    /// The pipe is full; the sample is parked and the writer must block.
+    WouldBlock,
+}
+
+/// Occupancy-counting model of one pipe. The actual sample payloads
+/// (generation timestamps) live in the owning daemon's FIFO; the pipe
+/// tracks capacity and writer blocking.
+#[derive(Clone, Debug)]
+pub struct Pipe {
+    capacity: usize,
+    occupied: usize,
+    /// Generation time of the sample waiting for space, if the writer is
+    /// blocked on a full pipe.
+    pending: Option<SimTime>,
+    /// Cumulative number of samples that ever had to wait for space.
+    blocked_deposits: u64,
+}
+
+impl Pipe {
+    /// A pipe holding up to `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if capacity is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "pipe capacity must be positive");
+        Pipe {
+            capacity,
+            occupied: 0,
+            pending: None,
+            blocked_deposits: 0,
+        }
+    }
+
+    /// Try to deposit a sample generated at `gen`. On `WouldBlock` the
+    /// sample is parked; the writer must stop until [`Pipe::drain`] frees
+    /// space.
+    pub fn deposit(&mut self, gen: SimTime) -> Deposit {
+        debug_assert!(self.pending.is_none(), "writer already blocked");
+        if self.occupied < self.capacity {
+            self.occupied += 1;
+            Deposit::Accepted
+        } else {
+            self.pending = Some(gen);
+            self.blocked_deposits += 1;
+            Deposit::WouldBlock
+        }
+    }
+
+    /// The daemon consumed one sample. If a parked sample existed, it takes
+    /// the freed slot and its generation time is returned so the caller can
+    /// enqueue it and unblock the writer.
+    pub fn drain(&mut self) -> Option<SimTime> {
+        debug_assert!(self.occupied > 0, "drain from empty pipe");
+        self.occupied -= 1;
+        match self.pending.take() {
+            Some(gen) => {
+                self.occupied += 1;
+                Some(gen)
+            }
+            None => None,
+        }
+    }
+
+    /// Samples currently in the pipe.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Whether a writer is blocked on this pipe.
+    pub fn writer_blocked(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Number of deposits that had to block.
+    pub fn blocked_deposits(&self) -> u64 {
+        self.blocked_deposits
+    }
+
+    /// Whether the pipe is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.occupied >= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn accepts_until_full_then_blocks() {
+        let mut p = Pipe::new(2);
+        assert_eq!(p.deposit(t(1)), Deposit::Accepted);
+        assert_eq!(p.deposit(t(2)), Deposit::Accepted);
+        assert!(p.is_full());
+        assert_eq!(p.deposit(t(3)), Deposit::WouldBlock);
+        assert!(p.writer_blocked());
+        assert_eq!(p.blocked_deposits(), 1);
+        assert_eq!(p.occupied(), 2);
+    }
+
+    #[test]
+    fn drain_hands_slot_to_parked_sample() {
+        let mut p = Pipe::new(1);
+        p.deposit(t(10));
+        assert_eq!(p.deposit(t(20)), Deposit::WouldBlock);
+        // Drain: the parked sample (gen=20) takes the slot.
+        assert_eq!(p.drain(), Some(t(20)));
+        assert!(!p.writer_blocked());
+        assert_eq!(p.occupied(), 1);
+        // Next drain frees for real.
+        assert_eq!(p.drain(), None);
+        assert_eq!(p.occupied(), 0);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut p = Pipe::new(3);
+        for i in 0..3 {
+            assert_eq!(p.deposit(t(i)), Deposit::Accepted);
+        }
+        assert_eq!(p.deposit(t(99)), Deposit::WouldBlock);
+        assert_eq!(p.occupied(), 3);
+        p.drain();
+        assert_eq!(p.occupied(), 3); // parked sample reoccupied the slot
+        p.drain();
+        assert_eq!(p.occupied(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        Pipe::new(0);
+    }
+}

@@ -1,0 +1,309 @@
+//! The event calendar and simulation driver.
+//!
+//! The kernel is deliberately monomorphic: a model defines a plain `enum` of
+//! events and implements [`Model::handle`]. Events are never boxed, the
+//! calendar is a binary heap keyed by `(time, sequence)`, and ties are broken
+//! in schedule order, so a given model + seed is fully deterministic.
+
+use crate::time::{SimDur, SimTime};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+
+/// A simulation model: owns all state and reacts to its own event type.
+pub trait Model {
+    /// The model's event alphabet.
+    type Event;
+
+    /// React to `ev` firing at `ctx.now()`. New events may be scheduled
+    /// through `ctx`.
+    fn handle(&mut self, ctx: &mut Ctx<Self::Event>, ev: Self::Event);
+}
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The scheduling context handed to [`Model::handle`].
+///
+/// Holds the clock and the pending-event calendar.
+pub struct Ctx<E> {
+    now: SimTime,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    executed: u64,
+    scheduled: u64,
+}
+
+impl<E> Ctx<E> {
+    fn new() -> Self {
+        Ctx {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            executed: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `ev` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past; causality violations are model bugs.
+    pub fn schedule_at(&mut self, at: SimTime, ev: E) -> EventHandle {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Reverse(Entry { at, seq, ev }));
+        EventHandle(seq)
+    }
+
+    /// Schedule `ev` to fire after a delay of `d`.
+    #[inline]
+    pub fn schedule_in(&mut self, d: SimDur, ev: E) -> EventHandle {
+        self.schedule_at(self.now + d, ev)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, h: EventHandle) {
+        self.cancelled.insert(h.0);
+    }
+
+    /// Number of events executed so far.
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events scheduled so far (including cancelled ones).
+    pub fn scheduled_events(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Number of events still pending in the calendar (including events that
+    /// were cancelled but not yet popped).
+    pub fn pending_events(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some((entry.at, entry.ev));
+        }
+        None
+    }
+}
+
+/// The simulation driver: a model plus its event calendar.
+pub struct Sim<M: Model> {
+    /// The model under simulation; accessible for inspection between runs.
+    pub model: M,
+    ctx: Ctx<M::Event>,
+}
+
+impl<M: Model> Sim<M> {
+    /// Create a driver around `model` with an empty calendar at time zero.
+    pub fn new(model: M) -> Self {
+        Sim {
+            model,
+            ctx: Ctx::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now
+    }
+
+    /// Access the scheduling context (e.g. to seed initial events).
+    pub fn ctx(&mut self) -> &mut Ctx<M::Event> {
+        &mut self.ctx
+    }
+
+    /// Execute the single next event, if any. Returns `false` when the
+    /// calendar is empty.
+    pub fn step(&mut self) -> bool {
+        match self.ctx.pop() {
+            Some((at, ev)) => {
+                debug_assert!(at >= self.ctx.now);
+                self.ctx.now = at;
+                self.ctx.executed += 1;
+                self.model.handle(&mut self.ctx, ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the calendar is exhausted or `horizon` is reached.
+    ///
+    /// Events scheduled exactly at the horizon still fire; the clock is left
+    /// at the horizon (or at the last event if the calendar drained first).
+    pub fn run_until(&mut self, horizon: SimTime) {
+        loop {
+            match self.ctx.heap.peek() {
+                Some(Reverse(e)) if e.at <= horizon => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.ctx.now < horizon {
+            self.ctx.now = horizon;
+        }
+    }
+
+    /// Run until the calendar is empty or `max_events` more events have fired.
+    /// Returns the number of events executed by this call.
+    pub fn run_events(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Total events executed over the life of the simulation.
+    pub fn executed_events(&self) -> u64 {
+        self.ctx.executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDur;
+
+    /// Toy model: counts event firings and records firing order.
+    struct Toy {
+        fired: Vec<u32>,
+        respawn: bool,
+    }
+
+    impl Model for Toy {
+        type Event = u32;
+        fn handle(&mut self, ctx: &mut Ctx<u32>, ev: u32) {
+            self.fired.push(ev);
+            if self.respawn && ev < 10 {
+                ctx.schedule_in(SimDur::from_nanos(1), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut sim = Sim::new(Toy { fired: vec![], respawn: false });
+        sim.ctx().schedule_at(SimTime::from_nanos(30), 3);
+        sim.ctx().schedule_at(SimTime::from_nanos(10), 1);
+        sim.ctx().schedule_at(SimTime::from_nanos(20), 2);
+        sim.run_until(SimTime::MAX);
+        assert_eq!(sim.model.fired, vec![1, 2, 3]);
+        assert_eq!(sim.executed_events(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut sim = Sim::new(Toy { fired: vec![], respawn: false });
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            sim.ctx().schedule_at(t, i);
+        }
+        sim.run_until(SimTime::MAX);
+        assert_eq!(sim.model.fired, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_scheduling_advances_clock() {
+        let mut sim = Sim::new(Toy { fired: vec![], respawn: true });
+        sim.ctx().schedule_at(SimTime::from_nanos(0), 0);
+        sim.run_until(SimTime::from_nanos(1_000));
+        assert_eq!(sim.model.fired.len(), 11);
+        // After the calendar drains, the clock advances to the horizon.
+        assert_eq!(sim.now().as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn horizon_cuts_off_and_clock_lands_on_horizon() {
+        let mut sim = Sim::new(Toy { fired: vec![], respawn: false });
+        sim.ctx().schedule_at(SimTime::from_nanos(10), 1);
+        sim.ctx().schedule_at(SimTime::from_nanos(90), 2);
+        sim.run_until(SimTime::from_nanos(50));
+        assert_eq!(sim.model.fired, vec![1]);
+        assert_eq!(sim.now().as_nanos(), 50);
+        // The remaining event still fires on a later run.
+        sim.run_until(SimTime::from_nanos(100));
+        assert_eq!(sim.model.fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn events_at_horizon_fire() {
+        let mut sim = Sim::new(Toy { fired: vec![], respawn: false });
+        sim.ctx().schedule_at(SimTime::from_nanos(50), 7);
+        sim.run_until(SimTime::from_nanos(50));
+        assert_eq!(sim.model.fired, vec![7]);
+    }
+
+    #[test]
+    fn cancellation_suppresses_event() {
+        let mut sim = Sim::new(Toy { fired: vec![], respawn: false });
+        let h = sim.ctx().schedule_at(SimTime::from_nanos(10), 1);
+        sim.ctx().schedule_at(SimTime::from_nanos(20), 2);
+        sim.ctx().cancel(h);
+        sim.run_until(SimTime::MAX);
+        assert_eq!(sim.model.fired, vec![2]);
+        // Cancelling again (or after firing) is harmless.
+        sim.ctx().cancel(h);
+    }
+
+    #[test]
+    fn run_events_bounds_execution() {
+        let mut sim = Sim::new(Toy { fired: vec![], respawn: true });
+        sim.ctx().schedule_at(SimTime::from_nanos(0), 0);
+        let n = sim.run_events(3);
+        assert_eq!(n, 3);
+        assert_eq!(sim.model.fired, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Sim::new(Toy { fired: vec![], respawn: false });
+        sim.ctx().schedule_at(SimTime::from_nanos(10), 1);
+        sim.run_until(SimTime::from_nanos(10));
+        sim.ctx().schedule_at(SimTime::from_nanos(5), 2);
+    }
+}

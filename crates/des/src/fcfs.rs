@@ -1,0 +1,202 @@
+//! A first-come-first-served single server as a pure state machine.
+//!
+//! The server owns no events; the model schedules one completion event per
+//! started service, so the invariant is: the server is busy **iff** exactly
+//! one completion event for it is pending. This keeps the component directly
+//! unit- and property-testable without an event loop.
+
+use crate::monitor::{BusyTime, Tally};
+use crate::time::{SimDur, SimTime};
+use std::collections::VecDeque;
+
+/// Result of offering a job to the server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Offer {
+    /// The server was idle; service starts now and completes after the
+    /// returned span. The model must schedule the completion event.
+    Started(SimDur),
+    /// The server was busy; the job was queued at the returned depth
+    /// (0 = next in line).
+    Queued(usize),
+}
+
+struct InService<J> {
+    job: J,
+    service: SimDur,
+}
+
+struct Waiting<J> {
+    job: J,
+    service: SimDur,
+    arrived: SimTime,
+}
+
+/// FCFS single server with unbounded queue.
+pub struct FcfsServer<J> {
+    current: Option<InService<J>>,
+    queue: VecDeque<Waiting<J>>,
+    busy: BusyTime,
+    waits: Tally,
+    served: u64,
+}
+
+impl<J> Default for FcfsServer<J> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<J> FcfsServer<J> {
+    /// An idle server with an empty queue.
+    pub fn new() -> Self {
+        FcfsServer {
+            current: None,
+            queue: VecDeque::new(),
+            busy: BusyTime::new(),
+            waits: Tally::new(),
+            served: 0,
+        }
+    }
+
+    /// Offer `job` with the given service demand at time `now`.
+    pub fn submit(&mut self, now: SimTime, job: J, service: SimDur) -> Offer {
+        if self.current.is_none() {
+            self.start(now, job, service, now);
+            Offer::Started(service)
+        } else {
+            self.queue.push_back(Waiting {
+                job,
+                service,
+                arrived: now,
+            });
+            Offer::Queued(self.queue.len() - 1)
+        }
+    }
+
+    fn start(&mut self, now: SimTime, job: J, service: SimDur, arrived: SimTime) {
+        self.busy.add(service);
+        self.waits.record((now - arrived).as_secs_f64());
+        self.current = Some(InService { job, service });
+    }
+
+    /// The pending service completed at `now`. Returns the finished job, its
+    /// service time, and — if the queue was non-empty — the service span of
+    /// the next job, whose completion the model must schedule.
+    ///
+    /// # Panics
+    /// Panics if the server was idle (a completion event without a started
+    /// service is a model bug).
+    pub fn complete(&mut self, now: SimTime) -> (J, SimDur, Option<SimDur>) {
+        let finished = self
+            .current
+            .take()
+            .expect("FcfsServer::complete called while idle");
+        self.served += 1;
+        let next = self.queue.pop_front().map(|w| {
+            let svc = w.service;
+            self.start(now, w.job, w.service, w.arrived);
+            svc
+        });
+        (finished.job, finished.service, next)
+    }
+
+    /// Whether a service is in progress.
+    pub fn is_busy(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Number of jobs waiting (excludes the one in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total busy time credited so far (includes the in-progress service in
+    /// full at its start).
+    pub fn busy_total(&self) -> SimDur {
+        self.busy.total()
+    }
+
+    /// Busy fraction of `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimDur) -> f64 {
+        self.busy.utilization(horizon)
+    }
+
+    /// Tally of queueing delays experienced by started jobs (seconds).
+    pub fn wait_tally(&self) -> &Tally {
+        &self.waits
+    }
+
+    /// Number of completed services.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: f64) -> SimDur {
+        SimDur::from_micros_f64(x)
+    }
+    fn at(x: f64) -> SimTime {
+        SimTime::from_micros_f64(x)
+    }
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = FcfsServer::new();
+        assert_eq!(s.submit(at(0.0), 1u32, us(10.0)), Offer::Started(us(10.0)));
+        assert!(s.is_busy());
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let mut s = FcfsServer::new();
+        s.submit(at(0.0), 1u32, us(10.0));
+        assert_eq!(s.submit(at(1.0), 2, us(5.0)), Offer::Queued(0));
+        assert_eq!(s.submit(at(2.0), 3, us(7.0)), Offer::Queued(1));
+        let (j, svc, next) = s.complete(at(10.0));
+        assert_eq!((j, svc), (1, us(10.0)));
+        assert_eq!(next, Some(us(5.0)));
+        let (j, _, next) = s.complete(at(15.0));
+        assert_eq!(j, 2);
+        assert_eq!(next, Some(us(7.0)));
+        let (j, _, next) = s.complete(at(22.0));
+        assert_eq!(j, 3);
+        assert_eq!(next, None);
+        assert!(!s.is_busy());
+        assert_eq!(s.served(), 3);
+    }
+
+    #[test]
+    fn busy_time_accumulates_service() {
+        let mut s = FcfsServer::new();
+        s.submit(at(0.0), 1u32, us(10.0));
+        s.submit(at(0.0), 2, us(30.0));
+        s.complete(at(10.0));
+        s.complete(at(40.0));
+        assert_eq!(s.busy_total(), us(40.0));
+        assert!((s.utilization(us(80.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waits_are_recorded() {
+        let mut s = FcfsServer::new();
+        s.submit(at(0.0), 1u32, us(10.0));
+        s.submit(at(0.0), 2, us(10.0)); // will wait 10us
+        s.complete(at(10.0));
+        s.complete(at(20.0));
+        let w = s.wait_tally();
+        assert_eq!(w.count(), 2);
+        assert!((w.max().unwrap() - 10e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle")]
+    fn complete_while_idle_panics() {
+        let mut s: FcfsServer<u32> = FcfsServer::new();
+        s.complete(at(0.0));
+    }
+}

@@ -1,0 +1,220 @@
+//! Maximum-likelihood distribution fitting and goodness-of-fit, as used for
+//! the paper's workload characterization (Section 2.3.2 / Table 2): the
+//! candidate families are exponential, lognormal, and Weibull; the winner is
+//! chosen by Kolmogorov–Smirnov distance (the paper picks visually via Q-Q
+//! plots; K-S formalizes the same comparison).
+
+use crate::dist::Rv;
+
+/// One fitted candidate with its goodness measures.
+#[derive(Clone, Debug)]
+pub struct Fit {
+    /// The fitted random variable.
+    pub rv: Rv,
+    /// Kolmogorov–Smirnov statistic (smaller is better).
+    pub ks: f64,
+    /// Log-likelihood of the sample under the fit (larger is better).
+    pub log_likelihood: f64,
+}
+
+/// MLE fit of an exponential distribution (mean = sample mean).
+///
+/// # Panics
+/// Panics on an empty sample or non-positive mean.
+pub fn fit_exponential(xs: &[f64]) -> Rv {
+    assert!(!xs.is_empty());
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    assert!(mean > 0.0, "exponential fit requires positive data");
+    Rv::exp(mean)
+}
+
+/// MLE fit of a lognormal distribution (moments of `ln x`).
+///
+/// Non-positive observations are rejected with a panic: they are impossible
+/// under a lognormal and indicate an upstream data error.
+pub fn fit_lognormal(xs: &[f64]) -> Rv {
+    assert!(!xs.is_empty());
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "lognormal fit requires strictly positive data"
+    );
+    let n = xs.len() as f64;
+    let mu = xs.iter().map(|x| x.ln()).sum::<f64>() / n;
+    let sigma2 = xs.iter().map(|x| (x.ln() - mu).powi(2)).sum::<f64>() / n;
+    let sigma = sigma2.sqrt().max(1e-12);
+    Rv::lognormal_mu_sigma(mu, sigma)
+}
+
+/// MLE fit of a Weibull distribution.
+///
+/// Solves the shape equation
+/// `sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x) = 0` by bisection (the
+/// function is monotone increasing in `k`), then sets the scale from the
+/// first-order condition.
+pub fn fit_weibull(xs: &[f64]) -> Rv {
+    assert!(!xs.is_empty());
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "weibull fit requires strictly positive data"
+    );
+    let n = xs.len() as f64;
+    let mean_ln = xs.iter().map(|x| x.ln()).sum::<f64>() / n;
+    let g = |k: f64| -> f64 {
+        let mut sxk = 0.0;
+        let mut sxk_ln = 0.0;
+        for &x in xs {
+            let xk = x.powf(k);
+            sxk += xk;
+            sxk_ln += xk * x.ln();
+        }
+        sxk_ln / sxk - 1.0 / k - mean_ln
+    };
+    let (mut lo, mut hi) = (1e-3, 1.0);
+    // Expand the bracket until g changes sign (g is increasing in k).
+    while g(hi) < 0.0 && hi < 1e3 {
+        hi *= 2.0;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if g(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-10 * hi {
+            break;
+        }
+    }
+    let k = 0.5 * (lo + hi);
+    let scale = (xs.iter().map(|x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+    Rv::weibull(k, scale)
+}
+
+/// Kolmogorov–Smirnov distance between the empirical CDF of `xs` and `rv`.
+pub fn ks_statistic(xs: &[f64], rv: &Rv) -> f64 {
+    assert!(!xs.is_empty());
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = rv.cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Log-likelihood of `xs` under `rv` (−inf if any point has zero density).
+pub fn log_likelihood(xs: &[f64], rv: &Rv) -> f64 {
+    xs.iter()
+        .map(|&x| {
+            let p = rv.pdf(x);
+            if p <= 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                p.ln()
+            }
+        })
+        .sum()
+}
+
+/// Fit all three candidate families and rank by K-S distance
+/// (best first). This is the procedure behind the paper's Table 2.
+pub fn best_fit(xs: &[f64]) -> Vec<Fit> {
+    let mut fits: Vec<Fit> = [fit_exponential(xs), fit_lognormal(xs), fit_weibull(xs)]
+        .into_iter()
+        .map(|rv| Fit {
+            ks: ks_statistic(xs, &rv),
+            log_likelihood: log_likelihood(xs, &rv),
+            rv,
+        })
+        .collect();
+    fits.sort_by(|a, b| a.ks.partial_cmp(&b.ks).expect("NaN ks"));
+    fits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Rv;
+    
+
+    use crate::SplitMix64 as TestRng;
+
+    fn draws(rv: Rv, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = TestRng(seed);
+        (0..n).map(|_| rv.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn exponential_fit_recovers_mean() {
+        let xs = draws(Rv::exp(223.0), 50_000, 1);
+        let rv = fit_exponential(&xs);
+        assert!((rv.mean() - 223.0).abs() / 223.0 < 0.02);
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_parameters() {
+        let truth = Rv::lognormal_mean_std(2213.0, 3034.0);
+        let xs = draws(truth, 100_000, 2);
+        let rv = fit_lognormal(&xs);
+        assert!((rv.mean() - 2213.0).abs() / 2213.0 < 0.05, "{}", rv.mean());
+        assert!((rv.std_dev() - 3034.0).abs() / 3034.0 < 0.10, "{}", rv.std_dev());
+    }
+
+    #[test]
+    fn weibull_fit_recovers_shape_and_scale() {
+        let truth = Rv::weibull(1.8, 120.0);
+        let xs = draws(truth, 50_000, 3);
+        match fit_weibull(&xs) {
+            Rv::Weibull { shape, scale } => {
+                assert!((shape - 1.8).abs() < 0.05, "shape {shape}");
+                assert!((scale - 120.0).abs() / 120.0 < 0.03, "scale {scale}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ks_small_for_true_family_large_for_wrong() {
+        let xs = draws(Rv::exp(100.0), 20_000, 4);
+        let good = ks_statistic(&xs, &Rv::exp(100.0));
+        let bad = ks_statistic(&xs, &Rv::exp(300.0));
+        assert!(good < 0.02, "good={good}");
+        assert!(bad > 0.15, "bad={bad}");
+    }
+
+    #[test]
+    fn best_fit_picks_lognormal_for_lognormal_data() {
+        // The paper's finding for application CPU bursts (Figure 8a).
+        let xs = draws(Rv::lognormal_mean_std(2213.0, 3034.0), 20_000, 5);
+        let fits = best_fit(&xs);
+        assert_eq!(fits[0].rv.family(), "lognormal", "{fits:#?}");
+    }
+
+    #[test]
+    fn best_fit_picks_exponential_for_exponential_data() {
+        // The paper's finding for network requests (Figure 8b). An
+        // exponential is also a Weibull with k=1, so accept either family as
+        // long as the fitted shape is ~1.
+        let xs = draws(Rv::exp(223.0), 20_000, 6);
+        let fits = best_fit(&xs);
+        match fits[0].rv {
+            Rv::Exp { .. } => {}
+            Rv::Weibull { shape, .. } => {
+                assert!((shape - 1.0).abs() < 0.05, "shape={shape}")
+            }
+            ref other => panic!("unexpected winner {other:?}"),
+        }
+    }
+
+    #[test]
+    fn log_likelihood_prefers_truth() {
+        let xs = draws(Rv::lognormal_mean_std(100.0, 60.0), 10_000, 7);
+        let ll_true = log_likelihood(&xs, &fit_lognormal(&xs));
+        let ll_exp = log_likelihood(&xs, &fit_exponential(&xs));
+        assert!(ll_true > ll_exp);
+    }
+}

@@ -1,0 +1,229 @@
+//! Principal component analysis over small feature sets, via a Jacobi
+//! eigensolver on the covariance (or correlation) matrix.
+//!
+//! The paper's "PCA" figures are really Jain's allocation of variation
+//! ([`crate::factorial`]); this module provides true PCA as a cross-check
+//! and for the measurement-analysis ablation.
+
+// Indexed loops are the natural idiom for the fixed-size matrix math here.
+#![allow(clippy::needless_range_loop)]
+
+/// Result of a PCA.
+#[derive(Clone, Debug)]
+pub struct Pca {
+    /// Eigenvalues, descending.
+    pub eigenvalues: Vec<f64>,
+    /// Row `i` is the unit-length loading vector of component `i`.
+    pub components: Vec<Vec<f64>>,
+    /// Fraction of total variance explained by each component (sums to 1).
+    pub explained: Vec<f64>,
+    /// Per-feature means subtracted before analysis.
+    pub means: Vec<f64>,
+}
+
+/// Covariance matrix of row-major observations (rows = observations,
+/// columns = features). Uses the unbiased (n−1) normalizer.
+pub fn covariance_matrix(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    assert!(rows.len() >= 2, "need at least two observations");
+    let d = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == d), "ragged observation matrix");
+    let n = rows.len() as f64;
+    let means: Vec<f64> = (0..d)
+        .map(|j| rows.iter().map(|r| r[j]).sum::<f64>() / n)
+        .collect();
+    let mut cov = vec![vec![0.0; d]; d];
+    for r in rows {
+        for i in 0..d {
+            let di = r[i] - means[i];
+            for j in i..d {
+                cov[i][j] += di * (r[j] - means[j]);
+            }
+        }
+    }
+    for i in 0..d {
+        for j in i..d {
+            cov[i][j] /= n - 1.0;
+            cov[j][i] = cov[i][j];
+        }
+    }
+    cov
+}
+
+/// Eigen-decomposition of a symmetric matrix by cyclic Jacobi rotations.
+/// Returns `(eigenvalues, eigenvectors)` with eigenvectors as rows, both
+/// sorted by descending eigenvalue.
+pub fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.len();
+    assert!(a.iter().all(|r| r.len() == n), "matrix must be square");
+    // v starts as identity; columns accumulate the rotations.
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        let off: f64 = (0..n)
+            .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+            .map(|(i, j)| a[i][j] * a[i][j])
+            .sum();
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| a[j][j].partial_cmp(&a[i][i]).expect("NaN eigenvalue"));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| a[i][i]).collect();
+    let eigenvectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&col| (0..n).map(|row| v[row][col]).collect())
+        .collect();
+    (eigenvalues, eigenvectors)
+}
+
+/// PCA of row-major observations.
+pub fn pca(rows: &[Vec<f64>]) -> Pca {
+    let cov = covariance_matrix(rows);
+    let d = cov.len();
+    let n = rows.len() as f64;
+    let means: Vec<f64> = (0..d)
+        .map(|j| rows.iter().map(|r| r[j]).sum::<f64>() / n)
+        .collect();
+    let (eigenvalues, components) = jacobi_eigen(cov);
+    let total: f64 = eigenvalues.iter().sum::<f64>().max(1e-300);
+    let explained = eigenvalues.iter().map(|&e| (e / total).max(0.0)).collect();
+    Pca {
+        eigenvalues,
+        components,
+        explained,
+        means,
+    }
+}
+
+impl Pca {
+    /// Project an observation onto the first `k` components.
+    pub fn project(&self, x: &[f64], k: usize) -> Vec<f64> {
+        assert!(k <= self.components.len());
+        (0..k)
+            .map(|c| {
+                self.components[c]
+                    .iter()
+                    .zip(x.iter().zip(&self.means))
+                    .map(|(w, (xi, m))| w * (xi - m))
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_diagonal_matrix_is_trivial() {
+        let a = vec![vec![3.0, 0.0], vec![0.0, 1.0]];
+        let (vals, vecs) = jacobi_eigen(a);
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] - 1.0).abs() < 1e-12);
+        assert!((vecs[0][0].abs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let (vals, vecs) = jacobi_eigen(vec![vec![2.0, 1.0], vec![1.0, 2.0]]);
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        // First eigenvector is (1,1)/sqrt(2) up to sign.
+        let v = &vecs[0];
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v[0] - v[1]).abs() < 1e-8 || (v[0] + v[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        let a = vec![
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.25],
+            vec![0.5, 0.25, 2.0],
+        ];
+        let (vals, vecs) = jacobi_eigen(a.clone());
+        // A = sum_k lambda_k v_k v_k^T
+        for i in 0..3 {
+            for j in 0..3 {
+                let r: f64 = (0..3).map(|k| vals[k] * vecs[k][i] * vecs[k][j]).sum();
+                assert!((r - a[i][j]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+        // Trace preserved.
+        let tr: f64 = vals.iter().sum();
+        assert!((tr - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Points along the (1, 2) direction plus tiny noise.
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                let noise = ((i * 37 % 17) as f64 - 8.0) / 100.0;
+                vec![t + noise, 2.0 * t - noise]
+            })
+            .collect();
+        let p = pca(&rows);
+        assert!(p.explained[0] > 0.999, "explained={:?}", p.explained);
+        let c = &p.components[0];
+        let ratio = c[1] / c[0];
+        assert!((ratio - 2.0).abs() < 0.02, "ratio={ratio}");
+    }
+
+    #[test]
+    fn explained_fractions_sum_to_one() {
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * i % 13) as f64, ((i * 7) % 5) as f64])
+            .collect();
+        let p = pca(&rows);
+        let total: f64 = p.explained.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Sorted descending.
+        for w in p.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_is_centered() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 5.0]).collect();
+        let p = pca(&rows);
+        let z = p.project(&[4.5, 5.0], 1);
+        assert!(z[0].abs() < 1e-9); // mean point projects to origin
+    }
+}

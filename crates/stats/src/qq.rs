@@ -1,0 +1,116 @@
+//! Quantile-quantile plot data, matching the right panels of the paper's
+//! Figure 8 (observed quantiles against theoretical quantiles; a good fit
+//! hugs the identity line).
+
+use crate::dist::Rv;
+
+/// One Q-Q point: `(theoretical quantile, observed quantile)`.
+pub type QqPoint = (f64, f64);
+
+/// Compute Q-Q points for a sample against a theoretical distribution,
+/// using plotting positions `(i - 0.5) / n`.
+pub fn qq_points(xs: &[f64], rv: &Rv) -> Vec<QqPoint> {
+    assert!(!xs.is_empty());
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let n = sorted.len();
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &obs)| {
+            let p = (i as f64 + 0.5) / n as f64;
+            (rv.quantile(p), obs)
+        })
+        .collect()
+}
+
+/// Pearson correlation of the Q-Q points — the probability-plot correlation
+/// coefficient. Values near 1 indicate the family fits (the formal version
+/// of the paper's "approximately follows the ideal linear curve").
+pub fn qq_correlation(xs: &[f64], rv: &Rv) -> f64 {
+    let pts = qq_points(xs, rv);
+    let n = pts.len() as f64;
+    let (mut sx, mut sy) = (0.0, 0.0);
+    for &(t, o) in &pts {
+        sx += t;
+        sy += o;
+    }
+    let (mx, my) = (sx / n, sy / n);
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for &(t, o) in &pts {
+        sxy += (t - mx) * (o - my);
+        sxx += (t - mx) * (t - mx);
+        syy += (o - my) * (o - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Thinned Q-Q series for display: keeps at most `max_points` evenly spaced
+/// points (always including both extremes).
+pub fn qq_series(xs: &[f64], rv: &Rv, max_points: usize) -> Vec<QqPoint> {
+    assert!(max_points >= 2);
+    let pts = qq_points(xs, rv);
+    if pts.len() <= max_points {
+        return pts;
+    }
+    let step = (pts.len() - 1) as f64 / (max_points - 1) as f64;
+    (0..max_points)
+        .map(|i| pts[(i as f64 * step).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit_lies_on_identity() {
+        // Take the theoretical quantiles themselves as "observations".
+        let rv = Rv::exp(100.0);
+        let xs: Vec<f64> = (0..200).map(|i| rv.quantile((i as f64 + 0.5) / 200.0)).collect();
+        let pts = qq_points(&xs, &rv);
+        for (t, o) in pts {
+            assert!((t - o).abs() < 1e-9);
+        }
+        assert!((qq_correlation(&xs, &rv) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_family_has_lower_correlation() {
+        // Lognormal-ish heavy-tail observations against an exponential.
+        let truth = Rv::lognormal_mean_std(100.0, 300.0);
+        let xs: Vec<f64> = (0..500)
+            .map(|i| truth.quantile((i as f64 + 0.5) / 500.0))
+            .collect();
+        let right = qq_correlation(&xs, &truth);
+        let wrong = qq_correlation(&xs, &Rv::exp(100.0));
+        assert!(right > wrong, "right={right} wrong={wrong}");
+        assert!(right > 0.999);
+    }
+
+    #[test]
+    fn series_thins_to_requested_size() {
+        let rv = Rv::exp(1.0);
+        let xs: Vec<f64> = (1..=1000).map(|i| i as f64 / 1000.0).collect();
+        let s = qq_series(&xs, &rv, 25);
+        assert_eq!(s.len(), 25);
+        // Extremes retained.
+        let full = qq_points(&xs, &rv);
+        assert_eq!(s[0], full[0]);
+        assert_eq!(*s.last().unwrap(), *full.last().unwrap());
+    }
+
+    #[test]
+    fn qq_points_are_sorted_in_both_axes() {
+        let rv = Rv::exp(10.0);
+        let xs = [5.0, 1.0, 9.0, 2.0, 30.0, 4.0];
+        let pts = qq_points(&xs, &rv);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Compute kernels standing in for the NAS benchmarks of Section 5.
+//!
+//! * [`BtLike`] — repeated solves of block-tridiagonal systems with 5×5
+//!   blocks, the core operation of NAS BT ("benchmark pvmbt solves three
+//!   sets of uncoupled systems of equations ... block tridiagonal with 5×5
+//!   blocks"). Compute-bound, floating-point heavy.
+//! * [`IsLike`] — bucket sort of pseudo-random integers, the core of NAS IS
+//!   ("an integer sort kernel"). Memory-traffic heavy, integer only.
+//!
+//! Both expose the same `step()` interface: one step is one unit of work
+//! whose result is checked (so the optimizer cannot delete it and a broken
+//! kernel fails loudly), and a progress counter that the instrumentation
+//! samples — the testbed's equivalent of a Paradyn metric counter.
+
+// Indexed loops are the natural idiom for the fixed-size matrix math here.
+#![allow(clippy::needless_range_loop)]
+
+/// Block size of the BT-like solver (NAS BT uses 5×5 blocks).
+const B: usize = 5;
+/// Number of block rows per system.
+const NROWS: usize = 24;
+
+/// A workload kernel: repeatedly perform a verifiable unit of work.
+pub trait Kernel {
+    /// Perform one unit of work.
+    ///
+    /// # Panics
+    /// Panics if the unit's self-check fails (a wrong solve/sort).
+    fn step(&mut self);
+
+    /// Monotone progress counter (units of work completed) — the sampled
+    /// instrumentation metric.
+    fn counter(&self) -> u64;
+
+    /// Kernel name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Block-tridiagonal solver kernel (pvmbt stand-in).
+pub struct BtLike {
+    steps: u64,
+    rng: u64,
+}
+
+impl BtLike {
+    /// New kernel with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        BtLike {
+            steps: 0,
+            rng: seed | 1,
+        }
+    }
+
+    fn next_f(&mut self) -> f64 {
+        // SplitMix64 to a float in [0.1, 1.1) — keeps matrices well away
+        // from singular.
+        self.rng = self.rng.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        0.1 + (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+type Block = [[f64; B]; B];
+
+fn block_identity() -> Block {
+    let mut m = [[0.0; B]; B];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    m
+}
+
+fn block_mat_vec(m: &Block, v: &[f64; B]) -> [f64; B] {
+    let mut out = [0.0; B];
+    for i in 0..B {
+        for j in 0..B {
+            out[i] += m[i][j] * v[j];
+        }
+    }
+    out
+}
+
+fn block_mat_mat(a: &Block, b: &Block) -> Block {
+    let mut out = [[0.0; B]; B];
+    for i in 0..B {
+        for k in 0..B {
+            let aik = a[i][k];
+            for j in 0..B {
+                out[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+/// Solve `m x = rhs` for a single 5×5 block by Gaussian elimination with
+/// partial pivoting. Returns the solution.
+fn block_solve(m: &Block, rhs: &[f64; B]) -> [f64; B] {
+    let mut a = *m;
+    let mut b = *rhs;
+    for col in 0..B {
+        // Pivot.
+        let mut piv = col;
+        for r in (col + 1)..B {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let d = a[col][col];
+        assert!(d.abs() > 1e-12, "singular block");
+        for r in (col + 1)..B {
+            let f = a[r][col] / d;
+            for c in col..B {
+                a[r][c] -= f * a[col][c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; B];
+    for row in (0..B).rev() {
+        let mut s = b[row];
+        for c in (row + 1)..B {
+            s -= a[row][c] * x[c];
+        }
+        x[row] = s / a[row][row];
+    }
+    x
+}
+
+/// Invert a block via `block_solve` against identity columns.
+fn block_inverse(m: &Block) -> Block {
+    let mut inv = [[0.0; B]; B];
+    let ident = block_identity();
+    for col in 0..B {
+        let mut e = [0.0; B];
+        e.copy_from_slice(&ident[col]);
+        let x = block_solve(m, &e);
+        for row in 0..B {
+            inv[row][col] = x[row];
+        }
+    }
+    inv
+}
+
+impl Kernel for BtLike {
+    fn step(&mut self) {
+        // Build a diagonally dominant block-tridiagonal system
+        // (C_i x_{i-1} + A_i x_i + B_i x_{i+1} = f_i), pick a known
+        // solution, compute the matching right-hand side, solve by block
+        // Thomas elimination, and verify.
+        let mut sub = [[[0.0; B]; B]; NROWS]; // C_i
+        let mut diag = [[[0.0; B]; B]; NROWS]; // A_i
+        let mut sup = [[[0.0; B]; B]; NROWS]; // B_i
+        let mut truth = [[0.0; B]; NROWS];
+        for i in 0..NROWS {
+            for r in 0..B {
+                for c in 0..B {
+                    sub[i][r][c] = 0.05 * self.next_f();
+                    sup[i][r][c] = 0.05 * self.next_f();
+                    diag[i][r][c] = 0.1 * self.next_f();
+                }
+                // Diagonal dominance.
+                diag[i][r][r] += 2.0;
+                truth[i][r] = self.next_f();
+            }
+        }
+        // rhs_i = C_i t_{i-1} + A_i t_i + B_i t_{i+1}.
+        let mut rhs = [[0.0; B]; NROWS];
+        for i in 0..NROWS {
+            let mut acc = block_mat_vec(&diag[i], &truth[i]);
+            if i > 0 {
+                let lo = block_mat_vec(&sub[i], &truth[i - 1]);
+                for k in 0..B {
+                    acc[k] += lo[k];
+                }
+            }
+            if i + 1 < NROWS {
+                let hi = block_mat_vec(&sup[i], &truth[i + 1]);
+                for k in 0..B {
+                    acc[k] += hi[k];
+                }
+            }
+            rhs[i] = acc;
+        }
+        // Block Thomas: forward elimination.
+        let mut dprime = diag;
+        let mut rprime = rhs;
+        for i in 1..NROWS {
+            // factor = C_i * inv(D'_{i-1})
+            let inv = block_inverse(&dprime[i - 1]);
+            let factor = block_mat_mat(&sub[i], &inv);
+            // D'_i = A_i - factor * B_{i-1}
+            let fb = block_mat_mat(&factor, &sup[i - 1]);
+            for r in 0..B {
+                for c in 0..B {
+                    dprime[i][r][c] -= fb[r][c];
+                }
+            }
+            let fr = block_mat_vec(&factor, &rprime[i - 1]);
+            for r in 0..B {
+                rprime[i][r] -= fr[r];
+            }
+        }
+        // Back substitution.
+        let mut x = [[0.0; B]; NROWS];
+        x[NROWS - 1] = block_solve(&dprime[NROWS - 1], &rprime[NROWS - 1]);
+        for i in (0..NROWS - 1).rev() {
+            let bx = block_mat_vec(&sup[i], &x[i + 1]);
+            let mut r = rprime[i];
+            for k in 0..B {
+                r[k] -= bx[k];
+            }
+            x[i] = block_solve(&dprime[i], &r);
+        }
+        // Verify against the known solution.
+        for i in 0..NROWS {
+            for k in 0..B {
+                let err = (x[i][k] - truth[i][k]).abs();
+                assert!(err < 1e-6, "BT solve error {err} at ({i},{k})");
+            }
+        }
+        self.steps += 1;
+    }
+
+    fn counter(&self) -> u64 {
+        self.steps
+    }
+
+    fn name(&self) -> &'static str {
+        "bt_like"
+    }
+}
+
+/// Integer-sort kernel (pvmis stand-in).
+pub struct IsLike {
+    steps: u64,
+    rng: u64,
+    keys: Vec<u32>,
+}
+
+/// Number of keys sorted per step.
+const IS_KEYS: usize = 16 * 1024;
+/// Key range (bucketed).
+const IS_RANGE: u32 = 1 << 14;
+
+impl IsLike {
+    /// New kernel with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        IsLike {
+            steps: 0,
+            rng: seed | 1,
+            keys: vec![0; IS_KEYS],
+        }
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.rng = self.rng.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (z ^ (z >> 31)) as u32
+    }
+}
+
+impl Kernel for IsLike {
+    fn step(&mut self) {
+        // Generate keys, bucket-sort (counting sort), verify order and a
+        // permutation checksum.
+        let mut sum_before = 0u64;
+        for k in self.keys.iter_mut() {
+            *k = 0;
+        }
+        for i in 0..IS_KEYS {
+            let v = self.next_u32() % IS_RANGE;
+            self.keys[i] = v;
+            sum_before += v as u64;
+        }
+        let mut counts = vec![0u32; IS_RANGE as usize];
+        for &k in &self.keys {
+            counts[k as usize] += 1;
+        }
+        let mut out = 0usize;
+        for (v, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                self.keys[out] = v as u32;
+                out += 1;
+            }
+        }
+        assert_eq!(out, IS_KEYS, "IS lost keys");
+        let mut sum_after = 0u64;
+        for w in self.keys.windows(2) {
+            assert!(w[0] <= w[1], "IS output not sorted");
+        }
+        for &k in &self.keys {
+            sum_after += k as u64;
+        }
+        assert_eq!(sum_before, sum_after, "IS checksum mismatch");
+        self.steps += 1;
+    }
+
+    fn counter(&self) -> u64 {
+        self.steps
+    }
+
+    fn name(&self) -> &'static str {
+        "is_like"
+    }
+}
+
+/// Which kernel an experiment runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelKind {
+    /// The BT-like solver (pvmbt stand-in).
+    Bt,
+    /// The integer-sort kernel (pvmis stand-in).
+    Is,
+}
+
+impl KernelKind {
+    /// Instantiate the kernel.
+    pub fn build(self, seed: u64) -> Box<dyn Kernel + Send> {
+        match self {
+            KernelKind::Bt => Box::new(BtLike::new(seed)),
+            KernelKind::Is => Box::new(IsLike::new(seed)),
+        }
+    }
+
+    /// Benchmark label, matching the paper's Figure 31.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Bt => "pvmbt",
+            KernelKind::Is => "pvmis",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bt_steps_verify_and_count() {
+        let mut k = BtLike::new(7);
+        for _ in 0..3 {
+            k.step();
+        }
+        assert_eq!(k.counter(), 3);
+        assert_eq!(k.name(), "bt_like");
+    }
+
+    #[test]
+    fn is_steps_verify_and_count() {
+        let mut k = IsLike::new(11);
+        for _ in 0..3 {
+            k.step();
+        }
+        assert_eq!(k.counter(), 3);
+    }
+
+    #[test]
+    fn kernels_are_deterministic_per_seed_but_vary() {
+        // Two BtLike kernels with the same seed draw identical matrices;
+        // different seeds draw different ones. We probe via the RNG.
+        let mut a = BtLike::new(5);
+        let mut b = BtLike::new(5);
+        let mut c = BtLike::new(6);
+        assert_eq!(a.next_f(), b.next_f());
+        assert_ne!(a.next_f(), c.next_f());
+    }
+
+    #[test]
+    fn block_solve_known_system() {
+        // Identity system: x == rhs.
+        let m = block_identity();
+        let rhs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(block_solve(&m, &rhs), rhs);
+        // Diagonal system.
+        let mut d = block_identity();
+        for (i, row) in d.iter_mut().enumerate() {
+            row[i] = (i + 1) as f64;
+        }
+        let x = block_solve(&d, &rhs);
+        for (i, v) in x.iter().enumerate() {
+            assert!((v - 1.0).abs() < 1e-12, "x[{i}]={v}");
+        }
+    }
+
+    #[test]
+    fn block_inverse_times_matrix_is_identity() {
+        let mut k = BtLike::new(3);
+        let mut m = [[0.0; B]; B];
+        for r in 0..B {
+            for c in 0..B {
+                m[r][c] = 0.2 * k.next_f();
+            }
+            m[r][r] += 2.0;
+        }
+        let inv = block_inverse(&m);
+        let prod = block_mat_mat(&inv, &m);
+        for r in 0..B {
+            for c in 0..B {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((prod[r][c] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_kind_builds_both() {
+        let mut b = KernelKind::Bt.build(1);
+        let mut i = KernelKind::Is.build(1);
+        b.step();
+        i.step();
+        assert_eq!(b.counter(), 1);
+        assert_eq!(i.counter(), 1);
+        assert_eq!(KernelKind::Bt.label(), "pvmbt");
+        assert_eq!(KernelKind::Is.label(), "pvmis");
+    }
+}

@@ -1,0 +1,239 @@
+//! The workload-characterization pipeline (paper Section 2.3):
+//! trace → per-class summary statistics (Table 1) → fitted distributions
+//! (Table 2) → a [`RoccParams`] to drive the simulation model.
+
+use crate::params::{ProcessParams, RoccParams};
+use crate::trace::{ProcessClass, Resource, Trace};
+use paradyn_stats::{best_fit, fit_exponential, Fit, Rv, Summary};
+
+/// One row of Table 1: occupancy statistics of a process class.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// The process class.
+    pub class: ProcessClass,
+    /// CPU occupancy summary (absent if the trace has no such records).
+    pub cpu: Option<Summary>,
+    /// Network occupancy summary.
+    pub net: Option<Summary>,
+}
+
+/// Compute Table 1 from a trace.
+pub fn table1(trace: &Trace) -> Vec<Table1Row> {
+    ProcessClass::ALL
+        .iter()
+        .map(|&class| {
+            let cpu = trace.occupancies(class, Resource::Cpu);
+            let net = trace.occupancies(class, Resource::Network);
+            Table1Row {
+                class,
+                cpu: (!cpu.is_empty()).then(|| Summary::of(&cpu)),
+                net: (!net.is_empty()).then(|| Summary::of(&net)),
+            }
+        })
+        .collect()
+}
+
+/// Characterization of one process class: fitted occupancy-length
+/// distributions plus the exponential inter-arrival approximation the paper
+/// uses ("the inter-arrival time of requests to individual resources is
+/// approximated by an exponential distribution").
+#[derive(Clone, Debug)]
+pub struct ClassFits {
+    /// The process class.
+    pub class: ProcessClass,
+    /// Ranked CPU occupancy fits, best first.
+    pub cpu_fits: Vec<Fit>,
+    /// Ranked network occupancy fits, best first.
+    pub net_fits: Vec<Fit>,
+    /// Exponential fit of CPU request inter-arrival times.
+    pub cpu_interarrival: Option<Rv>,
+    /// Exponential fit of network request inter-arrival times.
+    pub net_interarrival: Option<Rv>,
+}
+
+impl ClassFits {
+    /// The winning CPU occupancy distribution.
+    pub fn best_cpu(&self) -> Option<&Rv> {
+        self.cpu_fits.first().map(|f| &f.rv)
+    }
+
+    /// The winning network occupancy distribution.
+    pub fn best_net(&self) -> Option<&Rv> {
+        self.net_fits.first().map(|f| &f.rv)
+    }
+}
+
+/// Full characterization of a trace (Table 2 content).
+#[derive(Clone, Debug)]
+pub struct Characterization {
+    /// Per-class fits, in Table 1 order.
+    pub classes: Vec<ClassFits>,
+}
+
+/// Fit distributions for every process class present in the trace.
+pub fn characterize(trace: &Trace) -> Characterization {
+    let classes = ProcessClass::ALL
+        .iter()
+        .map(|&class| {
+            let cpu = trace.occupancies(class, Resource::Cpu);
+            let net = trace.occupancies(class, Resource::Network);
+            let cpu_ia = trace.interarrivals(class, Resource::Cpu);
+            let net_ia = trace.interarrivals(class, Resource::Network);
+            ClassFits {
+                class,
+                cpu_fits: if cpu.len() >= 10 { best_fit(&cpu) } else { vec![] },
+                net_fits: if net.len() >= 10 { best_fit(&net) } else { vec![] },
+                cpu_interarrival: (cpu_ia.len() >= 10)
+                    .then(|| fit_exponential(&cpu_ia)),
+                net_interarrival: (net_ia.len() >= 10)
+                    .then(|| fit_exponential(&net_ia)),
+            }
+        })
+        .collect();
+    Characterization { classes }
+}
+
+impl Characterization {
+    /// Fits for one class.
+    pub fn class(&self, class: ProcessClass) -> &ClassFits {
+        self.classes
+            .iter()
+            .find(|c| c.class == class)
+            .expect("all classes present by construction")
+    }
+
+    /// Build a [`RoccParams`] from the fitted distributions, falling back to
+    /// `fallback` for quantities a single-node trace cannot identify (batch
+    /// marginals, merge cost, quantum, pipe capacity).
+    pub fn to_rocc_params(&self, fallback: &RoccParams) -> RoccParams {
+        let pick = |fits: &ClassFits,
+                    res: Resource,
+                    fb: Rv| {
+            let best = match res {
+                Resource::Cpu => fits.best_cpu(),
+                Resource::Network => fits.best_net(),
+            };
+            best.copied().unwrap_or(fb)
+        };
+        let app = self.class(ProcessClass::Application);
+        let pd = self.class(ProcessClass::ParadynDaemon);
+        let pvmd = self.class(ProcessClass::PvmDaemon);
+        let other = self.class(ProcessClass::Other);
+        let main = self.class(ProcessClass::MainParadyn);
+        RoccParams {
+            app: ProcessParams {
+                cpu_req: pick(app, Resource::Cpu, fallback.app.cpu_req),
+                net_req: pick(app, Resource::Network, fallback.app.net_req),
+            },
+            pd: ProcessParams {
+                cpu_req: pick(pd, Resource::Cpu, fallback.pd.cpu_req),
+                net_req: pick(pd, Resource::Network, fallback.pd.net_req),
+            },
+            pvmd: ProcessParams {
+                cpu_req: pick(pvmd, Resource::Cpu, fallback.pvmd.cpu_req),
+                net_req: pick(pvmd, Resource::Network, fallback.pvmd.net_req),
+            },
+            pvmd_interarrival: pvmd
+                .cpu_interarrival
+                .unwrap_or(fallback.pvmd_interarrival),
+            other: ProcessParams {
+                cpu_req: pick(other, Resource::Cpu, fallback.other.cpu_req),
+                net_req: pick(other, Resource::Network, fallback.other.net_req),
+            },
+            other_cpu_interarrival: other
+                .cpu_interarrival
+                .unwrap_or(fallback.other_cpu_interarrival),
+            other_net_interarrival: other
+                .net_interarrival
+                .unwrap_or(fallback.other_net_interarrival),
+            main_cpu: pick(main, Resource::Cpu, fallback.main_cpu),
+            main_net: pick(main, Resource::Network, fallback.main_net),
+            ..fallback.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, SynthConfig};
+    use paradyn_stats::SplitMix64;
+
+    fn trace() -> Trace {
+        let cfg = SynthConfig {
+            duration_us: 60.0e6,
+            ..Default::default()
+        };
+        synthesize(&cfg, &mut SplitMix64(42))
+    }
+
+    #[test]
+    fn table1_has_all_five_rows() {
+        let rows = table1(&trace());
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(row.cpu.is_some(), "{:?} missing CPU stats", row.class);
+        }
+    }
+
+    #[test]
+    fn table1_app_row_tracks_paper_values() {
+        let rows = table1(&trace());
+        let app = rows
+            .iter()
+            .find(|r| r.class == ProcessClass::Application)
+            .unwrap();
+        let cpu = app.cpu.as_ref().unwrap();
+        assert!((cpu.mean - 2213.0).abs() / 2213.0 < 0.10, "mean {}", cpu.mean);
+        let net = app.net.as_ref().unwrap();
+        assert!((net.mean - 223.0).abs() / 223.0 < 0.10, "mean {}", net.mean);
+    }
+
+    #[test]
+    fn characterization_recovers_table2_families() {
+        let ch = characterize(&trace());
+        // Application CPU bursts: lognormal (the paper's Figure 8a finding).
+        let app = ch.class(ProcessClass::Application);
+        assert_eq!(app.best_cpu().unwrap().family(), "lognormal");
+        // Application network requests: exponential-like (Figure 8b). The
+        // Weibull family with shape ~1 is statistically the same call.
+        match app.best_net().unwrap() {
+            Rv::Exp { .. } => {}
+            Rv::Weibull { shape, .. } => assert!((shape - 1.0).abs() < 0.1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_parameters() {
+        // Ground truth -> trace -> characterization -> RoccParams: means
+        // must come back close to Table 2.
+        let ch = characterize(&trace());
+        let p = ch.to_rocc_params(&RoccParams::default());
+        assert!((p.app.cpu_req.mean() - 2213.0).abs() / 2213.0 < 0.10);
+        assert!((p.app.net_req.mean() - 223.0).abs() / 223.0 < 0.10);
+        assert!((p.pd.cpu_req.mean() - 267.0).abs() / 267.0 < 0.15);
+        assert!((p.pvmd_interarrival.mean() - 6485.0).abs() / 6485.0 < 0.15);
+    }
+
+    #[test]
+    fn interarrival_fit_matches_sampling_rate() {
+        let ch = characterize(&trace());
+        let pd = ch.class(ProcessClass::ParadynDaemon);
+        let ia = pd.cpu_interarrival.unwrap();
+        assert!(
+            (ia.mean() - 40_000.0).abs() / 40_000.0 < 0.15,
+            "ia mean {}",
+            ia.mean()
+        );
+    }
+
+    #[test]
+    fn sparse_trace_falls_back_gracefully() {
+        let t = Trace::new();
+        let ch = characterize(&t);
+        let fb = RoccParams::default();
+        let p = ch.to_rocc_params(&fb);
+        assert!((p.app.cpu_req.mean() - fb.app.cpu_req.mean()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,255 @@
+//! Process behaviour models: the detailed instrumented-process state machine
+//! of the paper's Figure 6 and the simplified two-state model of Figure 7.
+//!
+//! The detailed model is an extension of the Unix process model with
+//! instrumentation activity (periodic data collection forwarded through the
+//! daemon). The paper reduces it to Computation/Communication so that the
+//! workload can be characterized from ordinary traces without kernel
+//! instrumentation; [`simplify`] encodes that reduction and the tests verify
+//! the two models agree on resource-occupancy attribution.
+
+use std::fmt;
+
+/// States of the detailed model (Figure 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DetailedState {
+    /// Admitted and runnable, waiting for dispatch.
+    Ready,
+    /// Executing on a CPU.
+    Running,
+    /// Performing communication (data collection / NFS / inter-node).
+    Communication,
+    /// Blocked waiting for a resource (I/O).
+    Blocked,
+    /// Spawning a child (logged by the instrumentation).
+    Fork,
+    /// Terminated.
+    Exited,
+}
+
+/// Events that drive the detailed model's transitions (edge labels of
+/// Figure 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcEvent {
+    /// Scheduler dispatch: Ready → Running.
+    Dispatch,
+    /// Quantum expiry: Running → Ready.
+    TimeOut,
+    /// Start a communication step: Running → Communication.
+    StartComm,
+    /// Communication finished: Communication → Ready.
+    CommDone,
+    /// Wait on an unavailable resource: Running → Blocked.
+    Wait,
+    /// The awaited resource became available: Blocked → Ready.
+    ResourceAvailable,
+    /// Spawn a new process: Running → Fork.
+    Spawn,
+    /// Fork logged, back to execution: Fork → Running.
+    ForkLogged,
+    /// Process finished: Running → Exited.
+    Release,
+}
+
+/// States of the simplified model (Figure 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SimpleState {
+    /// Occupying the CPU.
+    Computation,
+    /// Occupying the network.
+    Communication,
+}
+
+/// Map a detailed state to the simplified model.
+///
+/// `Running` is the Computation state; `Communication` maps to itself
+/// (it covers data collection, NFS, and inter-node traffic); all other
+/// states occupy neither modelled resource and map to `None`.
+pub fn simplify(s: DetailedState) -> Option<SimpleState> {
+    match s {
+        DetailedState::Running => Some(SimpleState::Computation),
+        DetailedState::Communication => Some(SimpleState::Communication),
+        DetailedState::Ready
+        | DetailedState::Blocked
+        | DetailedState::Fork
+        | DetailedState::Exited => None,
+    }
+}
+
+/// Error for an illegal transition attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IllegalTransition {
+    /// State the process was in.
+    pub from: DetailedState,
+    /// The offending event.
+    pub event: ProcEvent,
+}
+
+impl fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event {:?} is illegal in state {:?}", self.event, self.from)
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+/// The detailed process state machine with transition validation.
+#[derive(Clone, Debug)]
+pub struct DetailedProcess {
+    state: DetailedState,
+    history: Vec<(DetailedState, ProcEvent)>,
+}
+
+impl Default for DetailedProcess {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DetailedProcess {
+    /// A freshly admitted process starts Ready.
+    pub fn new() -> Self {
+        DetailedProcess {
+            state: DetailedState::Ready,
+            history: vec![],
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> DetailedState {
+        self.state
+    }
+
+    /// The legal next state for `event` in `from`, if any (the transition
+    /// relation of Figure 6).
+    pub fn next_state(from: DetailedState, event: ProcEvent) -> Option<DetailedState> {
+        use DetailedState as S;
+        use ProcEvent as E;
+        Some(match (from, event) {
+            (S::Ready, E::Dispatch) => S::Running,
+            (S::Running, E::TimeOut) => S::Ready,
+            (S::Running, E::StartComm) => S::Communication,
+            (S::Communication, E::CommDone) => S::Ready,
+            (S::Running, E::Wait) => S::Blocked,
+            (S::Blocked, E::ResourceAvailable) => S::Ready,
+            (S::Running, E::Spawn) => S::Fork,
+            (S::Fork, E::ForkLogged) => S::Running,
+            (S::Running, E::Release) => S::Exited,
+            _ => return None,
+        })
+    }
+
+    /// Apply an event, validating legality.
+    pub fn apply(&mut self, event: ProcEvent) -> Result<DetailedState, IllegalTransition> {
+        match Self::next_state(self.state, event) {
+            Some(next) => {
+                self.history.push((self.state, event));
+                self.state = next;
+                Ok(next)
+            }
+            None => Err(IllegalTransition {
+                from: self.state,
+                event,
+            }),
+        }
+    }
+
+    /// Transition history as `(state-before, event)` pairs.
+    pub fn history(&self) -> &[(DetailedState, ProcEvent)] {
+        &self.history
+    }
+
+    /// Whether the process has terminated.
+    pub fn is_exited(&self) -> bool {
+        self.state == DetailedState::Exited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DetailedState as S;
+    use ProcEvent as E;
+
+    #[test]
+    fn typical_lifecycle_is_legal() {
+        let mut p = DetailedProcess::new();
+        for (ev, expect) in [
+            (E::Dispatch, S::Running),
+            (E::TimeOut, S::Ready),
+            (E::Dispatch, S::Running),
+            (E::StartComm, S::Communication),
+            (E::CommDone, S::Ready),
+            (E::Dispatch, S::Running),
+            (E::Wait, S::Blocked),
+            (E::ResourceAvailable, S::Ready),
+            (E::Dispatch, S::Running),
+            (E::Spawn, S::Fork),
+            (E::ForkLogged, S::Running),
+            (E::Release, S::Exited),
+        ] {
+            assert_eq!(p.apply(ev).unwrap(), expect);
+        }
+        assert!(p.is_exited());
+        assert_eq!(p.history().len(), 12);
+    }
+
+    #[test]
+    fn illegal_transitions_are_rejected() {
+        let mut p = DetailedProcess::new();
+        // Cannot time out while Ready.
+        let err = p.apply(E::TimeOut).unwrap_err();
+        assert_eq!(err.from, S::Ready);
+        // Cannot communicate while Ready.
+        assert!(p.apply(E::StartComm).is_err());
+        // State unchanged after rejection.
+        assert_eq!(p.state(), S::Ready);
+        // Exited is terminal.
+        p.apply(E::Dispatch).unwrap();
+        p.apply(E::Release).unwrap();
+        assert!(p.apply(E::Dispatch).is_err());
+    }
+
+    #[test]
+    fn simplification_matches_figure7() {
+        assert_eq!(simplify(S::Running), Some(SimpleState::Computation));
+        assert_eq!(
+            simplify(S::Communication),
+            Some(SimpleState::Communication)
+        );
+        for s in [S::Ready, S::Blocked, S::Fork, S::Exited] {
+            assert_eq!(simplify(s), None, "{s:?} occupies no modelled resource");
+        }
+    }
+
+    #[test]
+    fn only_running_and_comm_occupy_resources() {
+        // Walk a random-ish legal path and verify: states mapping to
+        // Computation are exactly the Running visits.
+        let mut p = DetailedProcess::new();
+        let script = [
+            E::Dispatch,
+            E::StartComm,
+            E::CommDone,
+            E::Dispatch,
+            E::TimeOut,
+            E::Dispatch,
+            E::Wait,
+            E::ResourceAvailable,
+            E::Dispatch,
+            E::Release,
+        ];
+        let mut computation_visits = 0;
+        let mut communication_visits = 0;
+        for ev in script {
+            let s = p.apply(ev).unwrap();
+            match simplify(s) {
+                Some(SimpleState::Computation) => computation_visits += 1,
+                Some(SimpleState::Communication) => communication_visits += 1,
+                None => {}
+            }
+        }
+        assert_eq!(computation_visits, 4); // four Dispatches to Running
+        assert_eq!(communication_visits, 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! The full workload-characterization pipeline (paper Section 2.3):
+//! synthesize an AIX-style trace, persist and reload it through the text
+//! codec, compute Table 1 statistics, fit Table 2 distributions, and build
+//! ROCC parameters for the simulator from the fits.
+
+use paradyn_core::{run, validation_config, SimConfig};
+use paradyn_stats::SplitMix64;
+use paradyn_workload::{
+    characterize, synthesize, table1, ProcessClass, RoccParams, SynthConfig, Trace,
+};
+
+fn main() -> std::io::Result<()> {
+    // 1. "Trace" the system (synthetic SP-2 stand-in; see DESIGN.md).
+    let cfg = SynthConfig {
+        duration_us: 30.0e6,
+        ..Default::default()
+    };
+    let trace = synthesize(&cfg, &mut SplitMix64(7));
+    println!("synthesized {} trace records (30 s of pvmbt on one node)", trace.len());
+
+    // 2. Persist and reload — the codec used for on-disk traces.
+    let mut buf = Vec::new();
+    trace.write_to(&mut buf)?;
+    let trace = Trace::read_from(&buf[..])?;
+    println!("round-tripped {} bytes through the trace codec", buf.len());
+
+    // 3. Table 1: occupancy statistics.
+    println!("\nper-class CPU occupancy (Table 1):");
+    for row in table1(&trace) {
+        if let Some(cpu) = row.cpu {
+            println!(
+                "  {:<22} mean {:>7.0} us  std {:>7.0}  min {:>5.0}  max {:>7.0}",
+                row.class.label(),
+                cpu.mean,
+                cpu.std_dev,
+                cpu.min,
+                cpu.max
+            );
+        }
+    }
+
+    // 4. Table 2: fitted distributions.
+    let ch = characterize(&trace);
+    println!("\nwinning distribution fits (Table 2):");
+    for class in ProcessClass::ALL {
+        let fits = ch.class(class);
+        println!(
+            "  {:<22} cpu: {:<24} net: {}",
+            class.label(),
+            fits.best_cpu().map_or("-".into(), |r| r.describe()),
+            fits.best_net().map_or("-".into(), |r| r.describe()),
+        );
+    }
+
+    // 5. Parameterize the ROCC model from the fits and run the Table 3
+    //    validation scenario with them.
+    let params: RoccParams = ch.to_rocc_params(&RoccParams::default());
+    let sim_cfg = SimConfig {
+        params,
+        ..validation_config()
+    };
+    let m = run(&sim_cfg);
+    println!(
+        "\nvalidation run with fitted parameters: app CPU {:.2} s (measured 85.71), \
+         Pd CPU {:.2} s (measured 0.74)",
+        m.cpu_time_s(ProcessClass::Application),
+        m.cpu_time_s(ProcessClass::ParadynDaemon)
+    );
+    Ok(())
+}

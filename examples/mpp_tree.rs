@@ -1,0 +1,74 @@
+//! MPP forwarding configurations and barrier effects.
+//!
+//! Compares direct against binary-tree data forwarding on a 128-node MPP
+//! (Section 4.4), then sweeps the application's barrier frequency
+//! (Figure 28's factor) to show how synchronization stalls shift CPU share
+//! from the application to the instrumentation system.
+
+use paradyn_core::{run, Arch, Forwarding, SimConfig};
+use paradyn_workload::pvmbt;
+
+fn main() {
+    let base = SimConfig {
+        nodes: 128,
+        batch: 32,
+        duration_s: 10.0,
+        ..Default::default()
+    };
+
+    println!("128-node MPP, BF(32), 40 ms sampling\n");
+    println!(
+        "{:>8}  {:>14}  {:>13}  {:>12}  {:>12}",
+        "config", "Pd CPU %/node", "Paradyn CPU %", "app CPU %", "latency ms"
+    );
+    for (label, fwd) in [
+        ("direct", Forwarding::Direct),
+        ("tree", Forwarding::BinaryTree),
+    ] {
+        let m = run(&SimConfig {
+            arch: Arch::Mpp { forwarding: fwd },
+            ..base.clone()
+        });
+        println!(
+            "{:>8}  {:>14.4}  {:>13.2}  {:>12.1}  {:>12.2}",
+            label,
+            m.pd_cpu_util_per_node * 100.0,
+            m.main_cpu_util * 100.0,
+            m.app_cpu_util_per_node * 100.0,
+            m.latency_mean_s * 1e3
+        );
+    }
+    println!("\nTree forwarding offloads the main process (two incoming streams instead");
+    println!("of 128) at the cost of per-node merge work in the daemons.\n");
+
+    println!("barrier sweep (direct forwarding):");
+    println!(
+        "{:>17}  {:>12}  {:>14}  {:>12}",
+        "barrier period ms", "app CPU %", "Pd CPU %/node", "barrier ops"
+    );
+    for bp_ms in [f64::INFINITY, 100.0, 10.0, 1.0] {
+        let mut cfg = SimConfig {
+            arch: Arch::Mpp {
+                forwarding: Forwarding::Direct,
+            },
+            ..base.clone()
+        };
+        if bp_ms.is_finite() {
+            cfg.app = pvmbt().with_barriers(bp_ms * 1e3);
+        }
+        let m = run(&cfg);
+        println!(
+            "{:>17}  {:>12.1}  {:>14.4}  {:>12}",
+            if bp_ms.is_finite() {
+                format!("{bp_ms}")
+            } else {
+                "none".into()
+            },
+            m.app_cpu_util_per_node * 100.0,
+            m.pd_cpu_util_per_node * 100.0,
+            m.barrier_ops
+        );
+    }
+    println!("\nFrequent barriers idle the application (waiting on the slowest peer)");
+    println!("while barrier-event samples raise the daemons' CPU share (Figure 28).");
+}

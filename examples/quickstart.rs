@@ -1,0 +1,42 @@
+//! Quickstart: simulate the Paradyn IS under the CF and BF policies and
+//! print the headline comparison the paper's study is about.
+
+use paradyn_core::{run, validate, SimConfig};
+
+fn main() {
+    println!("== Table 3 validation (pvmbt on one SP-2 node, CF, 40 ms) ==");
+    let v = validate();
+    println!(
+        "application CPU time: measured {:.2} s | paper-sim {:.2} s | our sim {:.2} s",
+        v.reference.measured_app_cpu_s, v.reference.paper_sim_app_cpu_s, v.app_cpu_s
+    );
+    println!(
+        "Paradyn daemon CPU time: measured {:.2} s | paper-sim {:.2} s | our sim {:.2} s",
+        v.reference.measured_pd_cpu_s, v.reference.paper_sim_pd_cpu_s, v.pd_cpu_s
+    );
+
+    println!("\n== CF vs BF on an 8-node NOW, 5 ms sampling, 10 s ==");
+    let base = SimConfig {
+        sampling_period_us: 5_000.0,
+        duration_s: 10.0,
+        ..Default::default()
+    };
+    let cf = run(&base);
+    let bf = run(&SimConfig { batch: 32, ..base });
+    println!(
+        "CF: Pd CPU/node {:.4} s  latency {:.2} ms  throughput {:.0}/s  app util {:.1}%",
+        cf.pd_cpu_per_node_s,
+        cf.latency_mean_s * 1e3,
+        cf.throughput_per_s,
+        cf.app_cpu_util_per_node * 100.0
+    );
+    println!(
+        "BF: Pd CPU/node {:.4} s  latency {:.2} ms  throughput {:.0}/s  app util {:.1}%",
+        bf.pd_cpu_per_node_s,
+        bf.latency_mean_s * 1e3,
+        bf.throughput_per_s,
+        bf.app_cpu_util_per_node * 100.0
+    );
+    let reduction = 1.0 - bf.pd_cpu_per_node_s / cf.pd_cpu_per_node_s;
+    println!("BF reduces direct daemon overhead by {:.0}%", reduction * 100.0);
+}

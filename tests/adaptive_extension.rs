@@ -1,0 +1,194 @@
+//! Tests for the Section 6 extension: batch flush timeouts and adaptive
+//! per-daemon batch regulation ("the IS can use the model to adapt its
+//! behavior in order to regulate overheads").
+
+use paradyn_core::{run, AdaptiveBatch, Arch, SimConfig};
+
+fn base(duration_s: f64) -> SimConfig {
+    SimConfig {
+        arch: Arch::Now {
+            contention_free: true,
+        },
+        nodes: 4,
+        duration_s,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn flush_timeout_bounds_bf_latency() {
+    // Pure BF(32) at 40 ms sampling takes ~1.3 s to fill a batch; a 100 ms
+    // flush timeout must cap the full (accumulation-inclusive) latency.
+    let pure = run(&SimConfig {
+        batch: 32,
+        ..base(20.0)
+    });
+    let bounded = run(&SimConfig {
+        batch: 32,
+        batch_timeout_us: Some(100_000.0),
+        ..base(20.0)
+    });
+    assert!(pure.latency_mean_s > 0.3, "pure BF latency {}", pure.latency_mean_s);
+    assert!(
+        bounded.latency_mean_s < 0.15,
+        "bounded latency {}",
+        bounded.latency_mean_s
+    );
+    // The timeout costs some batching efficiency but must still beat CF.
+    let cf = run(&base(20.0));
+    assert!(bounded.pd_cpu_per_node_s < cf.pd_cpu_per_node_s);
+    // No samples are lost by partial flushes.
+    assert!(bounded.received_samples as f64 > 0.95 * bounded.generated_samples as f64);
+}
+
+#[test]
+fn flush_timeout_with_cf_is_inert() {
+    // CF forwards each sample immediately; a timeout changes nothing.
+    let plain = run(&base(10.0));
+    let with_timeout = run(&SimConfig {
+        batch_timeout_us: Some(50_000.0),
+        ..base(10.0)
+    });
+    assert_eq!(plain.forwarded_batches, with_timeout.forwarded_batches);
+    assert_eq!(plain.received_samples, with_timeout.received_samples);
+}
+
+#[test]
+fn adaptive_grows_batch_under_load() {
+    // At 5 ms sampling (200 samples/s/node) CF costs ~5.3% daemon CPU.
+    // A 2% budget is feasible (the per-sample marginal floor is
+    // 200/s x 60 us = 1.2%), so the controller must escalate the batch
+    // until the budget is met.
+    let m = run(&SimConfig {
+        sampling_period_us: 5_000.0,
+        adaptive: Some(AdaptiveBatch {
+            target_pd_util: 0.02,
+            interval_us: 250_000.0,
+            min_batch: 1,
+            max_batch: 128,
+        }),
+        batch_timeout_us: Some(500_000.0),
+        ..base(20.0)
+    });
+    assert!(
+        m.mean_daemon_batch > 2.0,
+        "controller stayed at batch {}",
+        m.mean_daemon_batch
+    );
+    assert!(m.batch_adjustments > 0);
+    // Budget met with headroom for control ripple.
+    assert!(
+        m.pd_cpu_util_per_node < 0.03,
+        "util {} vs budget 0.02",
+        m.pd_cpu_util_per_node
+    );
+    // And far below the CF cost.
+    let cf = run(&SimConfig {
+        sampling_period_us: 5_000.0,
+        ..base(20.0)
+    });
+    assert!(m.pd_cpu_util_per_node < 0.7 * cf.pd_cpu_util_per_node);
+}
+
+#[test]
+fn adaptive_shrinks_batch_when_idle() {
+    // At a slow 80 ms sampling rate, even CF is far below a generous 5%
+    // budget, so the controller should settle near min_batch for latency.
+    let m = run(&SimConfig {
+        sampling_period_us: 80_000.0,
+        batch: 64, // start high on purpose
+        adaptive: Some(AdaptiveBatch {
+            target_pd_util: 0.05,
+            interval_us: 250_000.0,
+            min_batch: 1,
+            max_batch: 128,
+        }),
+        batch_timeout_us: Some(1_000_000.0),
+        ..base(20.0)
+    });
+    assert!(
+        m.mean_daemon_batch < 4.0,
+        "controller stuck at batch {}",
+        m.mean_daemon_batch
+    );
+}
+
+#[test]
+fn adaptive_beats_both_static_policies_on_the_pareto_axes() {
+    // The point of regulation: near-CF latency with near-BF overhead,
+    // under a budget between the two extremes. One app at 5 ms sampling:
+    // CF costs 5.3%; BF(64) takes 320 ms to fill a batch.
+    let cfg = SimConfig {
+        sampling_period_us: 5_000.0,
+        ..base(20.0)
+    };
+    let cf = run(&cfg);
+    let bf = run(&SimConfig {
+        batch: 64,
+        ..cfg.clone()
+    });
+    let adaptive = run(&SimConfig {
+        adaptive: Some(AdaptiveBatch {
+            target_pd_util: 0.02,
+            interval_us: 250_000.0,
+            min_batch: 1,
+            max_batch: 64,
+        }),
+        batch_timeout_us: Some(200_000.0),
+        ..cfg
+    });
+    // Much cheaper than CF...
+    assert!(
+        adaptive.pd_cpu_per_node_s < 0.6 * cf.pd_cpu_per_node_s,
+        "adaptive {} vs cf {}",
+        adaptive.pd_cpu_per_node_s,
+        cf.pd_cpu_per_node_s
+    );
+    // ...much lower full latency than unbounded BF(64).
+    assert!(
+        adaptive.latency_mean_s < 0.5 * bf.latency_mean_s,
+        "adaptive {} vs bf {}",
+        adaptive.latency_mean_s,
+        bf.latency_mean_s
+    );
+}
+
+#[test]
+fn invalid_adaptive_configs_rejected() {
+    let bad_bounds = SimConfig {
+        adaptive: Some(AdaptiveBatch {
+            min_batch: 16,
+            max_batch: 4,
+            ..Default::default()
+        }),
+        ..base(1.0)
+    };
+    assert!(bad_bounds.validate().is_err());
+    let bad_target = SimConfig {
+        adaptive: Some(AdaptiveBatch {
+            target_pd_util: 0.0,
+            ..Default::default()
+        }),
+        ..base(1.0)
+    };
+    assert!(bad_target.validate().is_err());
+    let bad_timeout = SimConfig {
+        batch_timeout_us: Some(-1.0),
+        ..base(1.0)
+    };
+    assert!(bad_timeout.validate().is_err());
+}
+
+#[test]
+fn determinism_holds_with_adaptive_regulation() {
+    let cfg = SimConfig {
+        adaptive: Some(AdaptiveBatch::default()),
+        batch_timeout_us: Some(100_000.0),
+        ..base(5.0)
+    };
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.received_samples, b.received_samples);
+    assert_eq!(a.mean_daemon_batch, b.mean_daemon_batch);
+}

@@ -1,0 +1,110 @@
+//! End-to-end workload-characterization pipeline tests: ground truth →
+//! synthetic trace → codec round trip → Table 1/2 analysis → ROCC
+//! parameters → validated simulation (the full Section 2 methodology).
+
+use paradyn_core::{run, validation_config, SimConfig};
+use paradyn_stats::SplitMix64;
+use paradyn_workload::{
+    characterize, synthesize, table1, ProcessClass, Resource, RoccParams, SynthConfig, Trace,
+};
+
+fn trace() -> Trace {
+    synthesize(
+        &SynthConfig {
+            duration_us: 40.0e6,
+            ..Default::default()
+        },
+        &mut SplitMix64(2024),
+    )
+}
+
+#[test]
+fn trace_codec_preserves_analysis_results() {
+    let t = trace();
+    let mut buf = Vec::new();
+    t.write_to(&mut buf).expect("write");
+    let t2 = Trace::read_from(&buf[..]).expect("read");
+    assert_eq!(t.len(), t2.len());
+    // Table 1 computed before and after the round trip agrees (codec
+    // stores 3 decimal places of microseconds; means move by < 0.1%).
+    let a = table1(&t);
+    let b = table1(&t2);
+    for (ra, rb) in a.iter().zip(&b) {
+        let (sa, sb) = (ra.cpu.as_ref().unwrap(), rb.cpu.as_ref().unwrap());
+        assert_eq!(sa.n, sb.n);
+        assert!((sa.mean - sb.mean).abs() / sa.mean < 1e-3);
+    }
+}
+
+#[test]
+fn pipeline_recovers_ground_truth_families_and_means() {
+    let ch = characterize(&trace());
+    // Families per Table 2 (exponential may fit as Weibull k~1).
+    let app = ch.class(ProcessClass::Application);
+    assert_eq!(app.best_cpu().expect("fit").family(), "lognormal");
+    let pvmd = ch.class(ProcessClass::PvmDaemon);
+    assert_eq!(pvmd.best_cpu().expect("fit").family(), "lognormal");
+    // Means within 10% of Table 2 across the board.
+    let checks = [
+        (app.best_cpu().unwrap().mean(), 2213.0),
+        (app.best_net().unwrap().mean(), 223.0),
+        (ch.class(ProcessClass::ParadynDaemon).best_cpu().unwrap().mean(), 267.0),
+        (pvmd.best_cpu().unwrap().mean(), 294.0),
+        (ch.class(ProcessClass::Other).best_cpu().unwrap().mean(), 367.0),
+        (ch.class(ProcessClass::MainParadyn).best_cpu().unwrap().mean(), 3208.0),
+    ];
+    for (got, want) in checks {
+        assert!(
+            (got - want).abs() / want < 0.10,
+            "fitted mean {got} vs table-2 {want}"
+        );
+    }
+}
+
+#[test]
+fn fitted_parameters_drive_a_valid_simulation() {
+    // The complete loop: characterization output parameterizes the ROCC
+    // model and reproduces the Table 3 validation band.
+    let params: RoccParams = characterize(&trace()).to_rocc_params(&RoccParams::default());
+    let cfg = SimConfig {
+        params,
+        ..validation_config()
+    };
+    let m = run(&cfg);
+    let app = m.cpu_time_s(ProcessClass::Application);
+    let pd = m.cpu_time_s(ProcessClass::ParadynDaemon);
+    assert!((app - 85.71).abs() / 85.71 < 0.10, "app CPU {app}");
+    assert!((pd - 0.74).abs() / 0.74 < 0.40, "pd CPU {pd}");
+}
+
+#[test]
+fn interarrival_statistics_identify_sampling_rate() {
+    let t = trace();
+    let ia = t.interarrivals(ProcessClass::ParadynDaemon, Resource::Cpu);
+    let mean = ia.iter().sum::<f64>() / ia.len() as f64;
+    assert!((mean - 40_000.0).abs() / 40_000.0 < 0.10, "ia mean {mean}");
+}
+
+#[test]
+fn characterization_is_seed_stable() {
+    // Two different seeds give statistically equivalent parameterizations
+    // (the pipeline measures the distribution, not the noise).
+    let p1 = characterize(&synthesize(
+        &SynthConfig {
+            duration_us: 40.0e6,
+            ..Default::default()
+        },
+        &mut SplitMix64(1),
+    ))
+    .to_rocc_params(&RoccParams::default());
+    let p2 = characterize(&synthesize(
+        &SynthConfig {
+            duration_us: 40.0e6,
+            ..Default::default()
+        },
+        &mut SplitMix64(2),
+    ))
+    .to_rocc_params(&RoccParams::default());
+    let rel = (p1.app.cpu_req.mean() - p2.app.cpu_req.mean()).abs() / p1.app.cpu_req.mean();
+    assert!(rel < 0.10, "seed sensitivity {rel}");
+}

@@ -1,0 +1,231 @@
+//! Integration tests asserting the paper's headline findings hold in the
+//! simulation — the "shape" contract of the reproduction (DESIGN.md §4).
+
+use paradyn_core::{run, Arch, Forwarding, SimConfig};
+use paradyn_workload::pvmbt;
+
+fn now_cfree(duration_s: f64) -> SimConfig {
+    SimConfig {
+        arch: Arch::Now {
+            contention_free: true,
+        },
+        duration_s,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn bf_cuts_daemon_overhead_by_more_than_sixty_percent() {
+    // The paper's central result (Sections 4.5, 5): BF(32) vs CF at a
+    // demanding sampling rate.
+    let base = SimConfig {
+        sampling_period_us: 5_000.0,
+        ..now_cfree(8.0)
+    };
+    let cf = run(&base);
+    let bf = run(&SimConfig { batch: 32, ..base });
+    let reduction = 1.0 - bf.pd_cpu_per_node_s / cf.pd_cpu_per_node_s;
+    assert!(
+        reduction > 0.60,
+        "BF reduction {:.2} (cf={}, bf={})",
+        reduction,
+        cf.pd_cpu_per_node_s,
+        bf.pd_cpu_per_node_s
+    );
+    // And the main process benefits at least as much.
+    assert!(bf.main_cpu_util < 0.5 * cf.main_cpu_util);
+    // While delivering the same samples.
+    let ratio = bf.received_samples as f64 / cf.received_samples as f64;
+    assert!((0.9..1.1).contains(&ratio), "throughput parity {ratio}");
+}
+
+#[test]
+fn cf_forwards_every_sample_individually() {
+    // CF is BF(1): one forward operation per sample (design decision 3).
+    let m = run(&now_cfree(4.0));
+    assert_eq!(m.forwarded_batches, m.forwarded_samples);
+    // Under BF(32), operations are ~1/32 of samples.
+    let bf = run(&SimConfig {
+        batch: 32,
+        ..now_cfree(4.0)
+    });
+    assert!(bf.forwarded_batches * 25 < bf.forwarded_samples);
+}
+
+#[test]
+fn daemon_overhead_scales_with_sampling_rate_not_nodes() {
+    // Figure 18(a): per-node overhead flat in node count;
+    // Figure 18(b): inverse in the sampling period.
+    let n2 = run(&SimConfig { nodes: 2, ..now_cfree(6.0) });
+    let n32 = run(&SimConfig { nodes: 32, ..now_cfree(6.0) });
+    let rel = (n2.pd_cpu_util_per_node - n32.pd_cpu_util_per_node).abs()
+        / n2.pd_cpu_util_per_node;
+    assert!(rel < 0.25, "per-node overhead drifted {rel} across node counts");
+
+    let fast = run(&SimConfig {
+        sampling_period_us: 5_000.0,
+        ..now_cfree(6.0)
+    });
+    let slow = run(&SimConfig {
+        sampling_period_us: 40_000.0,
+        ..now_cfree(6.0)
+    });
+    let ratio = fast.pd_cpu_util_per_node / slow.pd_cpu_util_per_node;
+    assert!((5.0..12.0).contains(&ratio), "expected ~8x, got {ratio}");
+}
+
+#[test]
+fn main_process_load_grows_with_node_count() {
+    // Figure 18(a): Paradyn CPU utilization rises with nodes under CF.
+    let n4 = run(&SimConfig { nodes: 4, ..now_cfree(6.0) });
+    let n32 = run(&SimConfig { nodes: 32, ..now_cfree(6.0) });
+    assert!(n32.main_cpu_util > 4.0 * n4.main_cpu_util);
+}
+
+#[test]
+fn tree_forwarding_costs_daemon_cpu_but_relieves_the_main_process() {
+    // Figure 27 + eq. 14.
+    let direct = run(&SimConfig {
+        arch: Arch::Mpp {
+            forwarding: Forwarding::Direct,
+        },
+        nodes: 64,
+        batch: 32,
+        duration_s: 6.0,
+        ..Default::default()
+    });
+    let tree = run(&SimConfig {
+        arch: Arch::Mpp {
+            forwarding: Forwarding::BinaryTree,
+        },
+        nodes: 64,
+        batch: 32,
+        duration_s: 6.0,
+        ..Default::default()
+    });
+    assert!(tree.pd_cpu_util_per_node > direct.pd_cpu_util_per_node);
+    // Same data reaches the main process either way.
+    let ratio = tree.received_samples as f64 / direct.received_samples as f64;
+    assert!((0.9..1.1).contains(&ratio), "delivery parity {ratio}");
+}
+
+#[test]
+fn small_sampling_periods_fill_pipes_and_block_the_application() {
+    // Figure 23's mechanism on the SMP.
+    let smp = SimConfig {
+        arch: Arch::Smp,
+        nodes: 16,
+        apps_per_node: 32,
+        duration_s: 6.0,
+        ..Default::default()
+    };
+    let fast = run(&SimConfig {
+        sampling_period_us: 2_000.0,
+        ..smp.clone()
+    });
+    let slow = run(&SimConfig {
+        sampling_period_us: 40_000.0,
+        ..smp.clone()
+    });
+    assert!(fast.blocked_deposits > 100, "expected heavy pipe blocking");
+    assert_eq!(slow.blocked_deposits, 0, "40 ms must not block");
+    assert!(fast.app_cpu_util_per_node < slow.app_cpu_util_per_node);
+    // Extra daemons raise the drain rate, admitting more samples (note:
+    // `blocked_deposits` counts blocking *events*, which can rise when
+    // writers unblock faster — throughput is the monotone signal).
+    let fast4 = run(&SimConfig {
+        sampling_period_us: 2_000.0,
+        pds: 4,
+        ..smp
+    });
+    assert!(fast4.throughput_per_s > fast.throughput_per_s);
+    assert!(fast4.generated_samples > fast.generated_samples);
+}
+
+#[test]
+fn smp_one_daemon_suffices_under_bf() {
+    // Figure 21 / Section 4.3.2.
+    let smp = SimConfig {
+        arch: Arch::Smp,
+        nodes: 16,
+        apps_per_node: 32,
+        duration_s: 6.0,
+        ..Default::default()
+    };
+    let offered = 32.0 / 0.040;
+    let bf1 = run(&SimConfig {
+        batch: 32,
+        ..smp.clone()
+    });
+    assert!(
+        bf1.throughput_per_s > 0.9 * offered,
+        "BF one-daemon throughput {} vs offered {offered}",
+        bf1.throughput_per_s
+    );
+    // CF with one daemon falls short; daemons help.
+    let cf1 = run(&smp.clone());
+    let cf4 = run(&SimConfig { pds: 4, ..smp });
+    assert!(cf1.throughput_per_s < 0.9 * offered);
+    assert!(cf4.throughput_per_s > cf1.throughput_per_s);
+}
+
+#[test]
+fn frequent_barriers_idle_the_app_and_raise_is_share() {
+    // Figure 28.
+    let base = SimConfig {
+        arch: Arch::Mpp {
+            forwarding: Forwarding::Direct,
+        },
+        nodes: 64,
+        batch: 32,
+        duration_s: 6.0,
+        ..Default::default()
+    };
+    let none = run(&base);
+    let mut busy = base.clone();
+    busy.app = pvmbt().with_barriers(1_000.0); // 1 ms of work per barrier
+    let frequent = run(&busy);
+    assert!(frequent.barrier_ops > 50, "barriers fired {}", frequent.barrier_ops);
+    assert!(frequent.app_cpu_util_per_node < 0.6 * none.app_cpu_util_per_node);
+    assert!(frequent.pd_cpu_util_per_node > none.pd_cpu_util_per_node);
+    // Latency is not materially affected (paper's finding).
+    assert!(frequent.fwd_latency_mean_s < 10.0 * none.fwd_latency_mean_s);
+}
+
+#[test]
+fn uninstrumented_baseline_has_zero_is_activity() {
+    let m = run(&SimConfig {
+        instrumented: false,
+        ..now_cfree(4.0)
+    });
+    assert_eq!(m.generated_samples, 0);
+    assert_eq!(m.received_samples, 0);
+    assert_eq!(m.pd_cpu_per_node_s, 0.0);
+    assert_eq!(m.main_cpu_util, 0.0);
+    // And the application runs at least as fast as when instrumented.
+    let instr = run(&now_cfree(4.0));
+    assert!(m.app_cpu_util_per_node >= instr.app_cpu_util_per_node - 1e-9);
+}
+
+#[test]
+fn batch_size_knee_levels_off() {
+    // Figure 19: 1 -> 8 is a big win; 32 -> 64 is not. Run below daemon
+    // saturation (one app per node, 5 ms sampling) so utilization, not
+    // throttled throughput, is measured.
+    let base = SimConfig {
+        sampling_period_us: 5_000.0,
+        apps_per_node: 1,
+        ..now_cfree(8.0)
+    };
+    let u = |b: usize| {
+        run(&SimConfig {
+            batch: b,
+            ..base.clone()
+        })
+        .pd_cpu_util_per_node
+    };
+    let (u1, u8, u32, u64_) = (u(1), u(8), u(32), u(64));
+    assert!(u1 / u8 > 2.0, "1->8 gain {:.2}", u1 / u8);
+    assert!(u32 / u64_ < 1.5, "32->64 gain {:.2}", u32 / u64_);
+    assert!(u8 > u32, "monotone decrease expected");
+}

@@ -1,0 +1,228 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants across the workspace.
+
+use paradyn_core::pipe::{Deposit, Pipe};
+use paradyn_des::{FcfsServer, Offer, RrCpuBank, SimDur, SimTime, Submit, Tally};
+use paradyn_stats::{Design2kr, Rv, SplitMix64};
+use paradyn_workload::{ProcessClass, Resource, Trace, TraceRecord};
+use proptest::prelude::*;
+
+proptest! {
+    /// SimTime arithmetic: (t + d) - t == d, ordering is consistent.
+    #[test]
+    fn time_add_sub_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let base = SimTime::from_nanos(t);
+        let dur = SimDur::from_nanos(d);
+        prop_assert_eq!(((base + dur) - base).as_nanos(), d);
+        prop_assert!(base + dur >= base);
+    }
+
+    /// Round-robin CPU bank conserves demand: total busy time equals total
+    /// submitted demand, and every job completes exactly once — under any
+    /// demand mix, CPU count, and quantum.
+    #[test]
+    fn rr_bank_conserves_demand(
+        demands in prop::collection::vec(1u64..2_000_000, 1..40),
+        cpus in 1usize..5,
+        quantum_us in 1u64..20_000,
+    ) {
+        let mut bank = RrCpuBank::new(cpus, SimDur::from_nanos(quantum_us * 1_000));
+        let mut pending: Vec<usize> = vec![]; // cpus with a live slice
+        for (i, &d) in demands.iter().enumerate() {
+            match bank.submit(i as u32, SimDur::from_nanos(d)) {
+                Submit::Dispatched { cpu, .. } => pending.push(cpu),
+                Submit::Queued(_) => {}
+            }
+        }
+        let mut completed = vec![false; demands.len()];
+        let mut guard = 0u64;
+        while let Some(cpu) = pending.pop() {
+            guard += 1;
+            prop_assert!(guard < 10_000_000, "livelock");
+            let e = bank.slice_end(cpu);
+            if e.completed {
+                prop_assert!(!completed[e.job as usize], "double completion");
+                completed[e.job as usize] = true;
+            }
+            if e.next_slice.is_some() {
+                pending.push(cpu);
+            }
+        }
+        prop_assert!(completed.iter().all(|&c| c));
+        let total: u64 = demands.iter().sum();
+        prop_assert_eq!(bank.busy_total().as_nanos(), total);
+        prop_assert_eq!(bank.completed_jobs(), demands.len() as u64);
+        prop_assert_eq!(bank.ready_len(), 0);
+    }
+
+    /// FCFS server: jobs complete in submission order and busy time equals
+    /// the sum of service demands.
+    #[test]
+    fn fcfs_is_fifo_and_conserves_service(
+        services in prop::collection::vec(1u64..1_000_000, 1..30),
+    ) {
+        let mut s = FcfsServer::new();
+        let mut clock = SimTime::ZERO;
+        let mut next_end: Option<SimDur> = None;
+        for (i, &svc) in services.iter().enumerate() {
+            match s.submit(clock, i as u32, SimDur::from_nanos(svc)) {
+                Offer::Started(d) => next_end = Some(d),
+                Offer::Queued(_) => {}
+            }
+        }
+        let mut order = vec![];
+        while let Some(d) = next_end {
+            clock += d;
+            let (job, _svc, next) = s.complete(clock);
+            order.push(job);
+            next_end = next;
+        }
+        prop_assert_eq!(order, (0..services.len() as u32).collect::<Vec<_>>());
+        let total: u64 = services.iter().sum();
+        prop_assert_eq!(s.busy_total().as_nanos(), total);
+        prop_assert!(!s.is_busy());
+    }
+
+    /// Pipe: occupancy never exceeds capacity under arbitrary operation
+    /// sequences, and a parked sample is admitted exactly once.
+    #[test]
+    fn pipe_never_overflows(
+        capacity in 1usize..16,
+        ops in prop::collection::vec(prop::bool::ANY, 1..200),
+    ) {
+        let mut p = Pipe::new(capacity);
+        let mut admitted = 0u64;
+        let mut parked = false;
+        for (i, op) in ops.into_iter().enumerate() {
+            let t = SimTime::from_nanos(i as u64 + 1);
+            if op {
+                // Deposit (only legal when the writer is not blocked).
+                if !p.writer_blocked() {
+                    match p.deposit(t) {
+                        Deposit::Accepted => admitted += 1,
+                        Deposit::WouldBlock => parked = true,
+                    }
+                }
+            } else if p.occupied() > 0
+                && p.drain().is_some() {
+                    admitted += 1;
+                    parked = false;
+                }
+            prop_assert!(p.occupied() <= capacity);
+            prop_assert_eq!(p.writer_blocked(), parked);
+        }
+        prop_assert!(admitted as usize >= p.occupied());
+    }
+
+    /// Rv quantile inverts the cdf for every family and parameter choice.
+    #[test]
+    fn quantile_inverts_cdf(
+        mean in 1.0f64..1e5,
+        cv in 0.05f64..3.0,
+        p in 0.001f64..0.999,
+    ) {
+        for rv in [
+            Rv::exp(mean),
+            Rv::lognormal_mean_std(mean, mean * cv),
+            Rv::weibull(0.5 + cv, mean),
+        ] {
+            let x = rv.quantile(p);
+            prop_assert!((rv.cdf(x) - p).abs() < 1e-6, "{rv:?} p={p}");
+        }
+    }
+
+    /// Samples from any Rv are non-negative and finite.
+    #[test]
+    fn samples_are_physical(seed in 0u64..u64::MAX, mean in 1.0f64..1e6) {
+        let mut rng = SplitMix64(seed);
+        for rv in [Rv::exp(mean), Rv::lognormal_mean_std(mean, mean)] {
+            for _ in 0..100 {
+                let x = rv.sample(&mut rng);
+                prop_assert!(x.is_finite() && x >= 0.0);
+            }
+        }
+    }
+
+    /// Tally: merging arbitrary partitions equals bulk accumulation.
+    #[test]
+    fn tally_merge_is_partition_invariant(
+        xs in prop::collection::vec(-1e6f64..1e6, 2..100),
+        split in 1usize..99,
+    ) {
+        let split = split.min(xs.len() - 1);
+        let mut bulk = Tally::new();
+        for &x in &xs {
+            bulk.record(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for &x in &xs[..split] {
+            a.record(x);
+        }
+        for &x in &xs[split..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), bulk.count());
+        prop_assert!((a.mean() - bulk.mean()).abs() < 1e-6 * (1.0 + bulk.mean().abs()));
+        prop_assert!((a.variance() - bulk.variance()).abs() < 1e-5 * (1.0 + bulk.variance()));
+    }
+
+    /// 2^k factorial: explained percentages always total 100.
+    #[test]
+    fn factorial_variation_totals_hundred(
+        ys in prop::collection::vec(0.0f64..1e3, 8),
+        reps in prop::collection::vec(0.0f64..10.0, 8),
+    ) {
+        let mut d = Design2kr::new(vec!["a", "b", "c"]);
+        let mut nontrivial = false;
+        for cfg in 0..8usize {
+            let base = ys[cfg];
+            let jitter = reps[cfg];
+            d.set_responses(cfg, vec![base, base + jitter]);
+            if base != 0.0 || jitter != 0.0 {
+                nontrivial = true;
+            }
+        }
+        prop_assume!(nontrivial);
+        let v = d.analyze();
+        let total: f64 = v.terms.iter().map(|t| t.pct).sum::<f64>() + v.sse_pct;
+        prop_assert!((total - 100.0).abs() < 1e-6 || v.sst == 0.0);
+        for t in &v.terms {
+            prop_assert!(t.pct >= -1e-12);
+        }
+    }
+
+    /// Trace codec: arbitrary records survive a write/read round trip.
+    #[test]
+    fn trace_codec_roundtrip(
+        recs in prop::collection::vec(
+            (0.0f64..1e9, 0u32..64, 0usize..5, prop::bool::ANY, 0.001f64..1e7),
+            1..50,
+        ),
+    ) {
+        let classes = ProcessClass::ALL;
+        let records: Vec<TraceRecord> = recs
+            .into_iter()
+            .map(|(t, pid, ci, is_cpu, occ)| TraceRecord {
+                t_us: (t * 1e3).round() / 1e3,
+                pid,
+                class: classes[ci],
+                resource: if is_cpu { Resource::Cpu } else { Resource::Network },
+                occupancy_us: (occ * 1e3).round() / 1e3,
+            })
+            .collect();
+        let t = Trace::from_records(records);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).expect("write");
+        let t2 = Trace::read_from(&buf[..]).expect("read");
+        prop_assert_eq!(t.len(), t2.len());
+        for (a, b) in t.records().iter().zip(t2.records()) {
+            prop_assert_eq!(a.class, b.class);
+            prop_assert_eq!(a.resource, b.resource);
+            prop_assert_eq!(a.pid, b.pid);
+            prop_assert!((a.t_us - b.t_us).abs() < 5e-4);
+            prop_assert!((a.occupancy_us - b.occupancy_us).abs() < 5e-4);
+        }
+    }
+}
