@@ -1,7 +1,7 @@
 //! Kernel benchmarks: raw event-calendar throughput (DESIGN.md ablations
 //! 1–2: integer time + typed events).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use paradyn_bench::timing::Group;
 use paradyn_des::{Ctx, Model, Sim, SimDur, SimTime};
 
 /// Self-rescheduling single event: pure calendar overhead.
@@ -36,44 +36,36 @@ impl Model for Timers {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("des_engine");
+fn main() {
+    let mut g = Group::new("des_engine");
     const N: u64 = 100_000;
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("event_chain_100k", |b| {
-        b.iter_batched(
+    g.throughput(N);
+    g.bench_with_setup(
+        "event_chain_100k",
+        || {
+            let mut sim = Sim::new(Chain { remaining: N });
+            sim.ctx().schedule_at(SimTime::ZERO, ());
+            sim
+        },
+        |mut sim| {
+            sim.run_until(SimTime::MAX);
+            sim.executed_events()
+        },
+    );
+    for k in [64u32, 1024] {
+        g.bench_with_setup(
+            &format!("timers_{k}_100k"),
             || {
-                let mut sim = Sim::new(Chain { remaining: N });
-                sim.ctx().schedule_at(SimTime::ZERO, ());
+                let mut sim = Sim::new(Timers { remaining: N });
+                for id in 0..k {
+                    sim.ctx().schedule_at(SimTime::from_nanos(id as u64), id);
+                }
                 sim
             },
             |mut sim| {
                 sim.run_until(SimTime::MAX);
                 sim.executed_events()
             },
-            BatchSize::SmallInput,
-        )
-    });
-    for k in [64u32, 1024] {
-        g.bench_function(format!("timers_{k}_100k"), |b| {
-            b.iter_batched(
-                || {
-                    let mut sim = Sim::new(Timers { remaining: N });
-                    for id in 0..k {
-                        sim.ctx().schedule_at(SimTime::from_nanos(id as u64), id);
-                    }
-                    sim
-                },
-                |mut sim| {
-                    sim.run_until(SimTime::MAX);
-                    sim.executed_events()
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -2,11 +2,11 @@
 //! CF ≡ BF(1) single code path (3), batch-size cost scaling, and tree vs
 //! direct forwarding event cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use paradyn_bench::timing::Group;
 use paradyn_core::{run, Arch, Forwarding, SimConfig};
 
-fn bench_policies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("policies");
+fn main() {
+    let mut g = Group::new("policies");
     g.sample_size(10);
     let base = SimConfig {
         arch: Arch::Now {
@@ -19,13 +19,11 @@ fn bench_policies(c: &mut Criterion) {
         ..Default::default()
     };
     for batch in [1usize, 8, 32, 128] {
-        g.bench_function(format!("now_batch_{batch}"), |b| {
-            let cfg = SimConfig {
-                batch,
-                ..base.clone()
-            };
-            b.iter(|| run(&cfg).forwarded_batches)
-        });
+        let cfg = SimConfig {
+            batch,
+            ..base.clone()
+        };
+        g.bench_function(&format!("now_batch_{batch}"), || run(&cfg).forwarded_batches);
     }
     for (name, fwd) in [
         ("mpp_direct_128n", Forwarding::Direct),
@@ -38,10 +36,6 @@ fn bench_policies(c: &mut Criterion) {
             duration_s: 1.0,
             ..Default::default()
         };
-        g.bench_function(name, |b| b.iter(|| run(&cfg).received_samples));
+        g.bench_function(name, || run(&cfg).received_samples);
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);

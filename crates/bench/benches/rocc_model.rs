@@ -1,7 +1,7 @@
 //! Whole-model simulation throughput across the three architectures —
 //! the cost of regenerating the paper's experiments.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use paradyn_bench::timing::Group;
 use paradyn_core::{run, Arch, Forwarding, SimConfig};
 
 fn cfg(arch: Arch, nodes: usize, duration_s: f64) -> SimConfig {
@@ -13,8 +13,8 @@ fn cfg(arch: Arch, nodes: usize, duration_s: f64) -> SimConfig {
     }
 }
 
-fn bench_rocc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rocc_model");
+fn main() {
+    let mut g = Group::new("rocc_model");
     g.sample_size(10);
 
     let cases = [
@@ -41,29 +41,22 @@ fn bench_rocc(c: &mut Criterion) {
                 1.0,
             ),
         ),
-        (
-            "mpp_tree_64n_1s",
-            {
-                let mut c = cfg(
-                    Arch::Mpp {
-                        forwarding: Forwarding::BinaryTree,
-                    },
-                    64,
-                    1.0,
-                );
-                c.batch = 32;
-                c
-            },
-        ),
+        ("mpp_tree_64n_1s", {
+            let mut c = cfg(
+                Arch::Mpp {
+                    forwarding: Forwarding::BinaryTree,
+                },
+                64,
+                1.0,
+            );
+            c.batch = 32;
+            c
+        }),
     ];
     for (name, config) in cases {
         // Report throughput in simulated events per wall second.
         let events = run(&config).events;
-        g.throughput(Throughput::Elements(events));
-        g.bench_function(name, |b| b.iter(|| run(&config).events));
+        g.throughput(events);
+        g.bench_function(name, || run(&config).events);
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_rocc);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Statistics-substrate benchmarks: sampling, fitting, K-S, PCA, and
 //! factorial analysis throughput.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use paradyn_bench::timing::Group;
 use paradyn_stats::{
     best_fit, fit_lognormal, fit_weibull, ks_statistic, pca, Design2kr, Rv, SplitMix64,
 };
@@ -11,58 +11,42 @@ fn draws(rv: Rv, n: usize) -> Vec<f64> {
     (0..n).map(|_| rv.sample(&mut rng)).collect()
 }
 
-fn bench_stats(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stats");
+fn main() {
+    let mut g = Group::new("stats");
 
-    g.throughput(Throughput::Elements(1_000_000));
-    g.bench_function("sample_lognormal_1m", |b| {
-        let rv = Rv::lognormal_mean_std(2213.0, 3034.0);
-        let mut rng = SplitMix64(1);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..1_000_000 {
-                acc += rv.sample(&mut rng);
-            }
-            acc
-        })
+    g.throughput(1_000_000);
+    let rv = Rv::lognormal_mean_std(2213.0, 3034.0);
+    let mut rng = SplitMix64(1);
+    g.bench_function("sample_lognormal_1m", || {
+        let mut acc = 0.0;
+        for _ in 0..1_000_000 {
+            acc += rv.sample(&mut rng);
+        }
+        acc
     });
 
     let xs = draws(Rv::lognormal_mean_std(2213.0, 3034.0), 10_000);
-    g.throughput(Throughput::Elements(xs.len() as u64));
-    g.bench_function("fit_lognormal_10k", |b| b.iter(|| fit_lognormal(&xs)));
-    g.bench_function("fit_weibull_10k", |b| b.iter(|| fit_weibull(&xs)));
-    g.bench_function("ks_statistic_10k", |b| {
-        let rv = fit_lognormal(&xs);
-        b.iter(|| ks_statistic(&xs, &rv))
-    });
-    g.bench_function("best_fit_10k", |b| b.iter(|| best_fit(&xs)));
+    g.throughput(xs.len() as u64);
+    g.bench_function("fit_lognormal_10k", || fit_lognormal(&xs));
+    g.bench_function("fit_weibull_10k", || fit_weibull(&xs));
+    let fitted = fit_lognormal(&xs);
+    g.bench_function("ks_statistic_10k", || ks_statistic(&xs, &fitted));
+    g.bench_function("best_fit_10k", || best_fit(&xs));
 
-    g.bench_function("pca_5d_1000", |b| {
-        let rows: Vec<Vec<f64>> = (0..1000)
-            .map(|i| {
-                (0..5)
-                    .map(|j| ((i * 31 + j * 17) % 97) as f64)
-                    .collect()
-            })
-            .collect();
-        b.iter(|| pca(&rows).explained[0])
-    });
+    let rows: Vec<Vec<f64>> = (0..1000)
+        .map(|i| (0..5).map(|j| ((i * 31 + j * 17) % 97) as f64).collect())
+        .collect();
+    g.bench_function("pca_5d_1000", || pca(&rows).explained[0]);
 
-    g.bench_function("factorial_2k4_r50", |b| {
-        b.iter_batched(
-            || {
-                let mut d = Design2kr::new(vec!["a", "b", "c", "d"]);
-                for cfg in 0..16usize {
-                    d.set_responses(cfg, (0..50).map(|r| (cfg * 7 + r) as f64).collect());
-                }
-                d
-            },
-            |d| d.analyze().sst,
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    g.bench_with_setup(
+        "factorial_2k4_r50",
+        || {
+            let mut d = Design2kr::new(vec!["a", "b", "c", "d"]);
+            for cfg in 0..16usize {
+                d.set_responses(cfg, (0..50).map(|r| (cfg * 7 + r) as f64).collect());
+            }
+            d
+        },
+        |d| d.analyze().sst,
+    );
 }
-
-criterion_group!(benches, bench_stats);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! vs. a float-keyed calendar. Measures raw binary-heap push/pop throughput
 //! with each key representation over an identical event trace.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use paradyn_bench::timing::Group;
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
@@ -47,41 +47,33 @@ fn churn<K: Ord + Copy>(heap: &mut BinaryHeap<Reverse<(K, u64)>>, keys: &[K]) ->
     acc
 }
 
-fn bench_time_repr(c: &mut Criterion) {
-    let mut g = c.benchmark_group("time_repr");
+fn main() {
+    let mut g = Group::new("time_repr");
     const N: usize = 100_000;
     const PREFILL: usize = 1_024;
     let ts = times(N);
-    g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("integer_keys", |b| {
-        b.iter_batched(
-            || {
-                let mut h: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-                for (i, &t) in ts.iter().take(PREFILL).enumerate() {
-                    h.push(Reverse((t, i as u64)));
-                }
-                h
-            },
-            |mut h| churn(&mut h, &ts),
-            BatchSize::SmallInput,
-        )
-    });
+    g.throughput(N as u64);
+    g.bench_with_setup(
+        "integer_keys",
+        || {
+            let mut h: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            for (i, &t) in ts.iter().take(PREFILL).enumerate() {
+                h.push(Reverse((t, i as u64)));
+            }
+            h
+        },
+        |mut h| churn(&mut h, &ts),
+    );
     let fts: Vec<OrderedF64> = ts.iter().map(|&t| OrderedF64(t as f64 * 1e-9)).collect();
-    g.bench_function("float_keys", |b| {
-        b.iter_batched(
-            || {
-                let mut h: BinaryHeap<Reverse<(OrderedF64, u64)>> = BinaryHeap::new();
-                for (i, &t) in fts.iter().take(PREFILL).enumerate() {
-                    h.push(Reverse((t, i as u64)));
-                }
-                h
-            },
-            |mut h| churn(&mut h, &fts),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    g.bench_with_setup(
+        "float_keys",
+        || {
+            let mut h: BinaryHeap<Reverse<(OrderedF64, u64)>> = BinaryHeap::new();
+            for (i, &t) in fts.iter().take(PREFILL).enumerate() {
+                h.push(Reverse((t, i as u64)));
+            }
+            h
+        },
+        |mut h| churn(&mut h, &fts),
+    );
 }
-
-criterion_group!(benches, bench_time_repr);
-criterion_main!(benches);

@@ -5,8 +5,9 @@
 //! regenerates a table or figure and prints the series/rows the paper
 //! reports, annotated with the paper's reference values where published.
 //! The `repro` binary dispatches on artifact ids (`table1` … `fig31`,
-//! `all`); Criterion benches under `benches/` measure the performance of
-//! the simulator itself.
+//! `all`); the in-tree wall-clock benches under `benches/` (built on
+//! [`timing`] — the build is hermetic, so no Criterion) measure the
+//! performance of the simulator itself.
 
 pub mod analytic_figs;
 pub mod fig8;
@@ -18,6 +19,7 @@ pub mod simhelp;
 pub mod smp_figs;
 pub mod tables;
 pub mod testbed_figs;
+pub mod timing;
 
 pub use scale::Scale;
 

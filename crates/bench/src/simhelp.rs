@@ -1,22 +1,30 @@
 //! Shared helpers for the simulation-based experiments: replicated sweeps
 //! and 2^k·r factorial designs over [`SimConfig`]s.
+//!
+//! Every replication's seed is a pure function of `(scale.seed,
+//! replication index)`, so the sweeps fan out over
+//! [`paradyn_core::run_many`]'s scoped threads while staying bit-identical
+//! to a serial execution.
 
 use crate::scale::Scale;
-use paradyn_core::{run, SimConfig, SimMetrics};
+use paradyn_core::{default_threads, replication_seed, run_many, SimConfig, SimMetrics};
 use paradyn_stats::Design2kr;
 
-/// Run one configuration `scale.reps` times with derived seeds and return
-/// the per-replication metrics.
-pub fn replicate(cfg: &SimConfig, scale: &Scale) -> Vec<SimMetrics> {
+/// The `scale.reps` seed-derived configurations for one base configuration.
+fn replica_cfgs(cfg: &SimConfig, scale: &Scale) -> Vec<SimConfig> {
     (0..scale.reps)
         .map(|r| {
             let mut c = cfg.clone();
-            c.seed = scale
-                .seed
-                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(r as u64 + 1));
-            run(&c)
+            c.seed = replication_seed(scale.seed, r);
+            c
         })
         .collect()
+}
+
+/// Run one configuration `scale.reps` times with derived seeds and return
+/// the per-replication metrics (in replication order; runs in parallel).
+pub fn replicate(cfg: &SimConfig, scale: &Scale) -> Vec<SimMetrics> {
+    run_many(&replica_cfgs(cfg, scale), default_threads())
 }
 
 /// Mean of a metric across replications (non-finite values dropped).
@@ -56,9 +64,14 @@ pub fn run_factorial(
     let mut overhead = Design2kr::new(factor_names.clone());
     let mut latency = Design2kr::new(factor_names);
     let mut rows = vec![];
+    // Fan the whole (configuration × replication) grid out at once so the
+    // sweep keeps every core busy even when `reps` is small.
+    let all_cfgs: Vec<SimConfig> = (0..(1usize << k))
+        .flat_map(|bits| replica_cfgs(&cfg_of(bits), scale))
+        .collect();
+    let all_runs = run_many(&all_cfgs, default_threads());
     for bits in 0..(1usize << k) {
-        let cfg = cfg_of(bits);
-        let runs = replicate(&cfg, scale);
+        let runs = &all_runs[bits * scale.reps..(bits + 1) * scale.reps];
         let ov: Vec<f64> = runs.iter().map(&overhead_of).collect();
         let lat: Vec<f64> = runs
             .iter()

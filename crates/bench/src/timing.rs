@@ -1,0 +1,187 @@
+//! Minimal wall-clock benchmarking harness — the hermetic replacement for
+//! Criterion, keeping `cargo bench` runnable with zero external crates.
+//!
+//! Each measurement warms the routine up, then times `iters` independent
+//! executions and reports **median**, **p95**, and **min** wall time
+//! (median and p95 are robust to scheduler noise; min approximates the
+//! uncontended cost). With a declared throughput, the median is also
+//! converted to elements/second.
+//!
+//! Environment knobs:
+//! * `PARADYN_BENCH_ITERS` — timed iterations per benchmark (default 20);
+//! * `PARADYN_BENCH_WARMUP` — warmup iterations (default 3).
+
+use std::time::Instant;
+
+/// Re-export so bench files have a hermetic `black_box`.
+pub use std::hint::black_box;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Robust summary of one benchmark's per-iteration times.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Median wall time per iteration (ns).
+    pub median_ns: u64,
+    /// 95th-percentile wall time (ns).
+    pub p95_ns: u64,
+    /// Minimum wall time (ns).
+    pub min_ns: u64,
+}
+
+/// Summarize per-iteration samples (ns). Uses the nearest-rank method, so
+/// the reported quantiles are actual observed samples.
+pub fn summarize(samples_ns: &[u64]) -> Stats {
+    assert!(!samples_ns.is_empty());
+    let mut xs = samples_ns.to_vec();
+    xs.sort_unstable();
+    let rank = |p: f64| -> u64 {
+        let idx = ((p * xs.len() as f64).ceil() as usize).clamp(1, xs.len()) - 1;
+        xs[idx]
+    };
+    Stats {
+        median_ns: rank(0.50),
+        p95_ns: rank(0.95),
+        min_ns: xs[0],
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named group of benchmarks sharing iteration settings.
+pub struct Group {
+    name: String,
+    iters: usize,
+    warmup: usize,
+    throughput_elems: Option<u64>,
+}
+
+impl Group {
+    /// Start a group; prints a header.
+    pub fn new(name: &str) -> Group {
+        println!("== bench group: {name} ==");
+        Group {
+            name: name.to_string(),
+            iters: env_usize("PARADYN_BENCH_ITERS", 20),
+            warmup: env_usize("PARADYN_BENCH_WARMUP", 3),
+            throughput_elems: None,
+        }
+    }
+
+    /// Override the timed iteration count for subsequent benchmarks.
+    pub fn sample_size(&mut self, iters: usize) -> &mut Self {
+        self.iters = iters.max(1);
+        self
+    }
+
+    /// Declare elements processed per iteration; subsequent reports add
+    /// elements/second derived from the median.
+    pub fn throughput(&mut self, elems: u64) -> &mut Self {
+        self.throughput_elems = Some(elems);
+        self
+    }
+
+    /// Time `routine` as-is (setup-free benchmark). Returns the stats so
+    /// callers (and tests) can assert on them.
+    pub fn bench_function<T>(&mut self, name: &str, mut routine: impl FnMut() -> T) -> Stats {
+        self.bench_with_setup(name, || (), |()| routine())
+    }
+
+    /// Time only `routine`, rebuilding its input with `setup` before every
+    /// iteration (the `iter_batched` pattern: excludes setup cost and
+    /// prevents state leaking across iterations).
+    pub fn bench_with_setup<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) -> Stats {
+        for _ in 0..self.warmup {
+            black_box(routine(setup()));
+        }
+        let mut samples = Vec::with_capacity(self.iters);
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+        let stats = summarize(&samples);
+        let rate = self
+            .throughput_elems
+            .filter(|_| stats.median_ns > 0)
+            .map(|e| {
+                format!(
+                    "  ({:.2} Melem/s)",
+                    e as f64 / (stats.median_ns as f64 * 1e-9) / 1e6
+                )
+            })
+            .unwrap_or_default();
+        println!(
+            "{:<32} median {:>12}  p95 {:>12}  min {:>12}{rate}",
+            format!("{}/{}", self.name, name),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p95_ns),
+            fmt_ns(stats.min_ns),
+        );
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_uses_nearest_rank() {
+        let s = summarize(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(s.median_ns, 50);
+        assert_eq!(s.p95_ns, 100);
+        assert_eq!(s.min_ns, 10);
+        let one = summarize(&[7]);
+        assert_eq!((one.median_ns, one.p95_ns, one.min_ns), (7, 7, 7));
+    }
+
+    #[test]
+    fn bench_runs_warmup_plus_iters_times() {
+        let mut g = Group::new("meta");
+        g.sample_size(5);
+        let mut calls = 0u32;
+        let stats = g.bench_function("counter", || calls += 1);
+        // 3 default warmups + 5 timed.
+        assert_eq!(calls, 8);
+        assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.p95_ns);
+    }
+
+    #[test]
+    fn setup_is_not_timed_state_is_fresh() {
+        let mut g = Group::new("meta");
+        g.sample_size(3);
+        g.bench_with_setup(
+            "fresh_vec",
+            || vec![1u64; 16],
+            |v| {
+                // Routine consumes its own fresh input every iteration.
+                assert_eq!(v.len(), 16);
+                v.into_iter().sum::<u64>()
+            },
+        );
+    }
+}

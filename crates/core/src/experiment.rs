@@ -1,11 +1,19 @@
 //! Experiment execution: single runs and replicated runs with confidence
 //! intervals (the paper derives means "within 90% confidence intervals from
 //! a sample of fifty values", Section 4.1).
+//!
+//! Replications are embarrassingly parallel: each draws its seed from its
+//! own [`paradyn_des::Streams`] stream (one stream id per replication
+//! index), so a replication's randomness is a pure function of
+//! `(master seed, index)` and never of execution order. [`run_many`]
+//! exploits that with `std::thread::scope`, statically partitioning the
+//! index space across worker threads — the results are **bit-identical**
+//! to the serial path at any thread count, which `tests/` asserts.
 
 use crate::config::SimConfig;
 use crate::metrics::SimMetrics;
 use crate::model::build;
-use paradyn_des::SimTime;
+use paradyn_des::{SimTime, Streams};
 use paradyn_stats::{mean_ci, MeanCi};
 
 /// Run one simulation to its configured horizon.
@@ -43,17 +51,77 @@ pub struct Replicated {
     pub throughput_per_s: MeanCi,
 }
 
+/// Seed of replication `rep` under master seed `master`: the first output
+/// of the replication's own derived stream. A replication's randomness is
+/// a pure function of `(master, rep)`, independent of which thread runs it.
+pub fn replication_seed(master: u64, rep: usize) -> u64 {
+    Streams::new(master).stream(rep as u64).next_u64()
+}
+
+/// Worker-thread count: `PARADYN_THREADS` if set, else the machine's
+/// available parallelism.
+pub fn default_threads() -> usize {
+    std::env::var("PARADYN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Run many independent configurations across `threads` scoped threads,
+/// returning metrics in input order. Each run's outcome depends only on
+/// its own configuration, so the output is bit-identical to running the
+/// slice serially, at any thread count.
+pub fn run_many(cfgs: &[SimConfig], threads: usize) -> Vec<SimMetrics> {
+    let threads = threads.max(1).min(cfgs.len().max(1));
+    if threads == 1 {
+        return cfgs.iter().map(run).collect();
+    }
+    let mut out: Vec<Option<SimMetrics>> = vec![None; cfgs.len()];
+    let chunk = cfgs.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (cfg_chunk, out_chunk) in cfgs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (c, slot) in cfg_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(run(c));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.expect("scoped worker completed"))
+        .collect()
+}
+
 /// Run `reps` replications with distinct seeds derived from `cfg.seed`,
 /// reporting means at the given confidence (the paper uses 0.90).
+/// Replications run in parallel on [`default_threads`] threads; use
+/// [`run_replicated_threads`] to pin the thread count.
 pub fn run_replicated(cfg: &SimConfig, reps: usize, confidence: f64) -> Replicated {
+    run_replicated_threads(cfg, reps, confidence, default_threads())
+}
+
+/// [`run_replicated`] with an explicit thread count (`1` = serial path).
+/// The metrics are bit-identical for every `threads` value.
+pub fn run_replicated_threads(
+    cfg: &SimConfig,
+    reps: usize,
+    confidence: f64,
+    threads: usize,
+) -> Replicated {
     assert!(reps >= 1);
-    let runs: Vec<SimMetrics> = (0..reps)
+    let cfgs: Vec<SimConfig> = (0..reps)
         .map(|r| {
             let mut c = cfg.clone();
-            c.seed = cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(r as u64 + 1));
-            run(&c)
+            c.seed = replication_seed(cfg.seed, r);
+            c
         })
         .collect();
+    let runs = run_many(&cfgs, threads);
     let col = |f: &dyn Fn(&SimMetrics) -> f64| -> Vec<f64> {
         runs.iter().map(f).filter(|v| v.is_finite()).collect()
     };
@@ -125,6 +193,32 @@ mod tests {
             ..quick_cfg()
         });
         assert_ne!(a.received_samples, b.received_samples);
+    }
+
+    #[test]
+    fn replication_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..64).map(|r| replication_seed(42, r)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len());
+        assert_eq!(replication_seed(42, 7), seeds[7]);
+    }
+
+    #[test]
+    fn run_many_preserves_input_order() {
+        let cfgs: Vec<SimConfig> = (0..5)
+            .map(|i| SimConfig {
+                seed: 1000 + i,
+                ..quick_cfg()
+            })
+            .collect();
+        let serial = run_many(&cfgs, 1);
+        let parallel = run_many(&cfgs, 3);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.received_samples, b.received_samples);
+        }
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub mod pipe;
 pub mod validate;
 
 pub use config::{AdaptiveBatch, Arch, Forwarding, SampleTiming, SimConfig};
-pub use experiment::{run, run_replicated, Replicated};
+pub use experiment::{
+    default_threads, replication_seed, run, run_many, run_replicated, run_replicated_threads,
+    Replicated,
+};
 pub use metrics::SimMetrics;
 pub use model::{build, RoccModel};
 pub use pipe::{Deposit, Pipe};

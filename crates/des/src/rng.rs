@@ -8,17 +8,11 @@
 //!
 //! The generator is xoshiro256++, seeded through SplitMix64, implemented
 //! locally so the simulation core does not depend on any external crate's
-//! stream-splitting behaviour staying stable.
+//! stream-splitting behaviour staying stable. [`StreamRng`] implements the
+//! workspace's own [`paradyn_stats::Rng`] trait, so it plugs directly into
+//! every sampler in `paradyn-stats`.
 
-/// SplitMix64 step: used for seeding and stream derivation.
-#[inline]
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E3779B97F4A7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
+use paradyn_stats::rng::splitmix64;
 
 /// xoshiro256++ pseudo-random generator.
 #[derive(Clone, Debug)]
@@ -86,27 +80,10 @@ impl StreamRng {
     }
 }
 
-impl rand::RngCore for StreamRng {
-    fn next_u32(&mut self) -> u32 {
-        (StreamRng::next_u64(self) >> 32) as u32
-    }
+impl paradyn_stats::Rng for StreamRng {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         StreamRng::next_u64(self)
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        let mut chunks = dest.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            chunk.copy_from_slice(&StreamRng::next_u64(self).to_le_bytes());
-        }
-        let rem = chunks.into_remainder();
-        if !rem.is_empty() {
-            let bytes = StreamRng::next_u64(self).to_le_bytes();
-            rem.copy_from_slice(&bytes[..rem.len()]);
-        }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -197,6 +174,55 @@ mod tests {
     }
 
     #[test]
+    fn streams_from_one_master_do_not_overlap() {
+        // Replication seeding depends on stream independence: outputs of
+        // streams with different ids must not share values (a collision in
+        // 64-bit space over this sample size is ~impossible unless two
+        // streams landed in the same state cycle).
+        let s = Streams::new(0xD1CE);
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..16u64 {
+            let mut r = s.stream(id);
+            for _ in 0..4_096 {
+                seen.insert(r.next_u64());
+            }
+        }
+        assert_eq!(seen.len(), 16 * 4_096, "overlapping stream outputs");
+    }
+
+    #[test]
+    fn adjacent_streams_are_uncorrelated() {
+        // Pearson correlation of paired uniform draws from neighbouring
+        // stream ids must be statistically indistinguishable from zero
+        // (|rho| < ~4/sqrt(n)).
+        let s = Streams::new(42);
+        let n = 20_000;
+        for (ida, idb) in [(0u64, 1u64), (1, 2), (7, 8)] {
+            let mut a = s.stream(ida);
+            let mut b = s.stream(idb);
+            let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for _ in 0..n {
+                let x = a.next_f64();
+                let y = b.next_f64();
+                sx += x;
+                sy += y;
+                sxx += x * x;
+                syy += y * y;
+                sxy += x * y;
+            }
+            let nf = n as f64;
+            let cov = sxy / nf - (sx / nf) * (sy / nf);
+            let vx = sxx / nf - (sx / nf).powi(2);
+            let vy = syy / nf - (sy / nf).powi(2);
+            let rho = cov / (vx * vy).sqrt();
+            assert!(
+                rho.abs() < 4.0 / nf.sqrt() * 1.5,
+                "streams {ida}/{idb} correlated: rho={rho}"
+            );
+        }
+    }
+
+    #[test]
     fn stream3_addresses_distinct() {
         let s = Streams::new(99);
         let mut x = s.stream3(1, 2, 3);
@@ -213,8 +239,8 @@ mod tests {
     }
 
     #[test]
-    fn rngcore_fill_bytes_works() {
-        use rand::RngCore;
+    fn rng_trait_fill_bytes_works() {
+        use paradyn_stats::Rng;
         let mut r = StreamRng::seed_from_u64(5);
         let mut buf = [0u8; 13];
         r.fill_bytes(&mut buf);

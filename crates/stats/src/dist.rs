@@ -10,30 +10,25 @@
 //! [`Rv::lognormal_mean_std`] therefore takes real-space mean and standard
 //! deviation and converts to the underlying normal's `(mu, sigma)`.
 
+use crate::rng::Rng;
 use crate::special::{gamma, norm_cdf, norm_quantile};
-use rand::RngCore;
 
-/// Uniform draw in `[0, 1)` from any `RngCore`.
+/// Uniform draw in `[0, 1)` from any [`Rng`].
 #[inline]
-pub fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
-    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+pub fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    rng.next_f64()
 }
 
 /// Uniform draw in `(0, 1)` (never exactly zero).
 #[inline]
-pub fn unit_f64_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
-    loop {
-        let u = unit_f64(rng);
-        if u > 0.0 {
-            return u;
-        }
-    }
+pub fn unit_f64_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    rng.next_f64_open()
 }
 
 /// Standard normal draw (Box–Muller; the second value is discarded so the
 /// variable stays stateless/`Copy`).
 #[inline]
-pub fn std_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     let u1 = unit_f64_open(rng);
     let u2 = unit_f64(rng);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -123,7 +118,7 @@ impl Rv {
 
     /// Draw one sample.
     #[inline]
-    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         match *self {
             Rv::Exp { mean } => -mean * unit_f64_open(rng).ln(),
             Rv::LogNormal { mu, sigma } => (mu + sigma * std_normal(rng)).exp(),

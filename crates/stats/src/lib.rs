@@ -16,7 +16,12 @@
 //! * [`pca`] — true covariance PCA via a Jacobi eigensolver (cross-check).
 //! * [`ci`] — Student-t confidence intervals for replicated simulations.
 //! * [`special`] — the underlying special functions.
+//! * [`rng`] — the workspace's own [`Rng`] trait (the build is hermetic;
+//!   no `rand`) plus the [`SplitMix64`] test generator.
+//! * [`check`] — an in-tree property-based testing harness (seeded
+//!   generators, shrinking, failing-seed reporting; no `proptest`).
 
+pub mod check;
 pub mod ci;
 pub mod desc;
 pub mod dist;
@@ -25,8 +30,10 @@ pub mod fit;
 pub mod hist;
 pub mod pca;
 pub mod qq;
+pub mod rng;
 pub mod special;
 
+pub use check::{check, Gen, PropResult};
 pub use ci::{mean_ci, mean_ci_from_moments, MeanCi};
 pub use desc::{quantile, quantile_sorted, Summary};
 pub use dist::Rv;
@@ -35,36 +42,4 @@ pub use fit::{best_fit, fit_exponential, fit_lognormal, fit_weibull, ks_statisti
 pub use hist::Histogram;
 pub use pca::{covariance_matrix, jacobi_eigen, pca, Pca};
 pub use qq::{qq_correlation, qq_points, qq_series, QqPoint};
-
-/// A tiny deterministic RNG (SplitMix64). Exposed so tests here and in
-/// dependent crates can draw reproducible samples without wiring up the
-/// full stream machinery.
-pub struct SplitMix64(pub u64);
-
-impl rand::RngCore for SplitMix64 {
-    fn next_u32(&mut self) -> u32 {
-        (rand::RngCore::next_u64(self) >> 32) as u32
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        let mut chunks = dest.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            chunk.copy_from_slice(&rand::RngCore::next_u64(self).to_le_bytes());
-        }
-        let rem = chunks.into_remainder();
-        if !rem.is_empty() {
-            let bytes = rand::RngCore::next_u64(self).to_le_bytes();
-            rem.copy_from_slice(&bytes[..rem.len()]);
-        }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
+pub use rng::{Rng, SplitMix64};

@@ -1,0 +1,145 @@
+//! The workspace's random-number abstraction.
+//!
+//! The build is hermetic (no external crates), so the `rand::RngCore`
+//! interface the generators used to speak is defined here instead: [`Rng`]
+//! is the minimal uniform-bits contract every sampler in the workspace is
+//! written against. `paradyn-des` implements it for its xoshiro256++
+//! streams; [`SplitMix64`] below is the single-word generator tests reach
+//! for when they don't need the full stream machinery.
+
+/// A source of uniform random bits.
+///
+/// Only [`Rng::next_u64`] is required; everything else is derived. The
+/// trait is object-safe and all samplers take `R: Rng + ?Sized`, so both
+/// concrete generators and `&mut dyn Rng` work.
+pub trait Rng {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit word (the high half of a 64-bit draw).
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw in the half-open interval `[0, 1)` with 53-bit
+    /// precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in the open interval `(0, 1)` — safe to pass to `ln()`.
+    #[inline]
+    fn next_f64_open(&mut self) -> f64 {
+        loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Uniform integer in `[0, n)` via the multiply-shift mapping
+    /// (rejection-free; fine for simulation use).
+    #[inline]
+    fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Fill `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// One SplitMix64 step: advances `state` and returns the next output.
+/// Shared by seeding, stream derivation, and [`SplitMix64`] itself.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A tiny deterministic RNG (SplitMix64). Exposed so tests here and in
+/// dependent crates can draw reproducible samples without wiring up the
+/// full stream machinery.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(pub u64);
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64(42);
+        let mut b = SplitMix64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_draws_are_in_unit_interval() {
+        let mut r = SplitMix64(7);
+        for _ in 0..10_000 {
+            let u = r.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            assert!(r.next_f64_open() > 0.0);
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SplitMix64(3);
+        for _ in 0..10_000 {
+            assert!(r.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn fill_bytes_handles_unaligned_tails() {
+        let mut r = SplitMix64(5);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn trait_object_and_reborrow_both_work() {
+        let mut r = SplitMix64(9);
+        let dyn_r: &mut dyn Rng = &mut r;
+        let _ = dyn_r.next_u64();
+        fn takes_generic<R: Rng>(mut r: R) -> u64 {
+            r.next_u64()
+        }
+        takes_generic(&mut r);
+    }
+}

@@ -18,7 +18,7 @@
 
 use crate::params::RoccParams;
 use crate::trace::{ProcessClass, Resource, Trace, TraceRecord};
-use rand::RngCore;
+use paradyn_stats::Rng;
 
 /// Configuration of a synthetic tracing run (one traced node, as in the
 /// paper's Figure 29 setup).
@@ -51,7 +51,7 @@ impl Default for SynthConfig {
 }
 
 /// Generate a synthetic trace.
-pub fn synthesize<R: RngCore>(cfg: &SynthConfig, rng: &mut R) -> Trace {
+pub fn synthesize<R: Rng>(cfg: &SynthConfig, rng: &mut R) -> Trace {
     let p = &cfg.params;
     let mut trace = Trace::new();
 
@@ -172,7 +172,7 @@ pub fn synthesize<R: RngCore>(cfg: &SynthConfig, rng: &mut R) -> Trace {
     trace
 }
 
-fn exp_draw<R: RngCore>(rng: &mut R, mean: f64) -> f64 {
+fn exp_draw<R: Rng>(rng: &mut R, mean: f64) -> f64 {
     paradyn_stats::Rv::exp(mean).sample(rng)
 }
 

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification, hermetically: build and test with the registry
+# disabled, proving the workspace has no external dependencies. A clean
+# checkout on a machine with no crates.io access must pass this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "verify: OK"

@@ -2,7 +2,7 @@
 //! on every architecture, and the common-random-numbers discipline keeps
 //! configuration changes from perturbing unrelated stochastic elements.
 
-use paradyn_core::{run, Arch, Forwarding, SimConfig};
+use paradyn_core::{run, run_replicated_threads, Arch, Forwarding, SimConfig, SimMetrics};
 
 fn all_arch_configs() -> Vec<SimConfig> {
     vec![
@@ -41,6 +41,85 @@ fn all_arch_configs() -> Vec<SimConfig> {
             ..Default::default()
         },
     ]
+}
+
+/// Bitwise equality over the full metric set (NaN-safe: two NaNs with the
+/// same bit pattern compare equal, which is exactly what "bit-identical"
+/// means here).
+fn assert_metrics_bit_identical(a: &SimMetrics, b: &SimMetrics, ctx: &str) {
+    assert_eq!(a.events, b.events, "{ctx}: events");
+    assert_eq!(a.received_samples, b.received_samples, "{ctx}: received");
+    assert_eq!(a.received_msgs, b.received_msgs, "{ctx}: msgs");
+    assert_eq!(a.generated_samples, b.generated_samples, "{ctx}: generated");
+    assert_eq!(a.forwarded_batches, b.forwarded_batches, "{ctx}: batches");
+    assert_eq!(a.forwarded_samples, b.forwarded_samples, "{ctx}: fwd samples");
+    assert_eq!(a.blocked_deposits, b.blocked_deposits, "{ctx}: blocked");
+    assert_eq!(a.barrier_ops, b.barrier_ops, "{ctx}: barriers");
+    for (name, fa, fb) in [
+        ("pd_cpu_per_node_s", a.pd_cpu_per_node_s, b.pd_cpu_per_node_s),
+        ("pd_cpu_util", a.pd_cpu_util_per_node, b.pd_cpu_util_per_node),
+        ("main_cpu_util", a.main_cpu_util, b.main_cpu_util),
+        ("is_cpu_util", a.is_cpu_util_per_node, b.is_cpu_util_per_node),
+        ("app_cpu_util", a.app_cpu_util_per_node, b.app_cpu_util_per_node),
+        ("latency_mean_s", a.latency_mean_s, b.latency_mean_s),
+        ("fwd_latency_mean_s", a.fwd_latency_mean_s, b.fwd_latency_mean_s),
+        ("throughput_per_s", a.throughput_per_s, b.throughput_per_s),
+        ("net_util", a.net_util, b.net_util),
+        ("mean_daemon_batch", a.mean_daemon_batch, b.mean_daemon_batch),
+    ] {
+        assert_eq!(fa.to_bits(), fb.to_bits(), "{ctx}: {name} {fa} vs {fb}");
+    }
+}
+
+#[test]
+fn parallel_replication_is_bit_identical_to_serial() {
+    // The tentpole contract: run_replicated over scoped threads must give
+    // exactly the serial answer at every thread count.
+    for cfg in [
+        SimConfig {
+            arch: Arch::Now {
+                contention_free: true,
+            },
+            nodes: 2,
+            duration_s: 2.0,
+            ..Default::default()
+        },
+        SimConfig {
+            arch: Arch::Mpp {
+                forwarding: Forwarding::BinaryTree,
+            },
+            nodes: 8,
+            batch: 16,
+            duration_s: 2.0,
+            ..Default::default()
+        },
+    ] {
+        let reps = 6;
+        let serial = run_replicated_threads(&cfg, reps, 0.90, 1);
+        for threads in [2usize, 8] {
+            let parallel = run_replicated_threads(&cfg, reps, 0.90, threads);
+            assert_eq!(serial.runs.len(), parallel.runs.len());
+            for (r, (a, b)) in serial.runs.iter().zip(&parallel.runs).enumerate() {
+                assert_metrics_bit_identical(
+                    a,
+                    b,
+                    &format!("{:?} rep {r} threads {threads}", cfg.arch),
+                );
+            }
+            for (name, a, b) in [
+                ("pd_cpu_per_node_s", &serial.pd_cpu_per_node_s, &parallel.pd_cpu_per_node_s),
+                ("latency_s", &serial.latency_s, &parallel.latency_s),
+                ("throughput_per_s", &serial.throughput_per_s, &parallel.throughput_per_s),
+            ] {
+                assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "{name} mean");
+                assert_eq!(
+                    a.half_width.to_bits(),
+                    b.half_width.to_bits(),
+                    "{name} half width"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,93 @@
+//! Hermetic-build guard: the workspace must never reacquire an external
+//! (registry) dependency. The build environment has no crates.io access,
+//! so any non-path dependency breaks `cargo build --offline` at dependency
+//! resolution — this test fails first, with a readable message.
+
+use std::path::{Path, PathBuf};
+
+/// All manifests in the workspace: the root plus every `crates/*` member.
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    let mut entries: Vec<_> = std::fs::read_dir(&crates)
+        .expect("crates/ directory")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path().join("Cargo.toml"))
+        .filter(|p| p.exists())
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), 7, "expected the 7 member crates");
+    out.extend(entries);
+    out
+}
+
+/// Collect `name = value` dependency entries from every `[dependencies]`,
+/// `[dev-dependencies]`, `[build-dependencies]`, and
+/// `[workspace.dependencies]` section of a manifest.
+fn dependency_entries(toml: &str) -> Vec<(String, String)> {
+    let mut in_dep_section = false;
+    let mut entries = vec![];
+    for raw in toml.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_dep_section = line.trim_matches(['[', ']'])
+                .split('.')
+                .any(|seg| seg.ends_with("dependencies"));
+            continue;
+        }
+        if !in_dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once('=') {
+            entries.push((name.trim().to_string(), value.trim().to_string()));
+        }
+    }
+    entries
+}
+
+#[test]
+fn no_workspace_manifest_declares_a_non_path_dependency() {
+    for manifest in workspace_manifests() {
+        let toml = std::fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        for (name, value) in dependency_entries(&toml) {
+            // A dependency is hermetic iff it is an in-tree path dependency
+            // or a `.workspace = true` reference to one (the workspace table
+            // itself is checked by this same loop).
+            let is_path = value.contains("path");
+            let is_workspace_ref =
+                name.ends_with(".workspace") && value == "true" && name.starts_with("paradyn-");
+            assert!(
+                is_path || is_workspace_ref,
+                "{}: dependency `{name} = {value}` is not an in-tree path \
+                 dependency — the build must stay hermetic (see DESIGN.md); \
+                 vendor the functionality instead",
+                manifest.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn workspace_dependency_table_is_path_only() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    let toml = std::fs::read_to_string(root).expect("root manifest");
+    let mut in_table = false;
+    let mut seen = 0;
+    for raw in toml.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_table = line == "[workspace.dependencies]";
+            continue;
+        }
+        if in_table && !line.is_empty() && !line.starts_with('#') {
+            seen += 1;
+            assert!(
+                line.contains("path ="),
+                "[workspace.dependencies] entry without a path: `{line}`"
+            );
+        }
+    }
+    assert_eq!(seen, 6, "expected exactly the 6 member-crate entries");
+}

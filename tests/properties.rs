@@ -1,31 +1,37 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants across the workspace.
+//! Property-based tests on the core data structures and invariants across
+//! the workspace, running on the in-tree `paradyn_stats::check` harness
+//! (hermetic build: no proptest). Rerun a reported failure with
+//! `PARADYN_PROP_SEED=<seed> cargo test <property name>`.
 
 use paradyn_core::pipe::{Deposit, Pipe};
 use paradyn_des::{FcfsServer, Offer, RrCpuBank, SimDur, SimTime, Submit, Tally};
-use paradyn_stats::{Design2kr, Rv, SplitMix64};
+use paradyn_stats::{check, Design2kr, Rv, SplitMix64};
+use paradyn_stats::{prop_assert, prop_assert_eq, prop_assume};
 use paradyn_workload::{ProcessClass, Resource, Trace, TraceRecord};
-use proptest::prelude::*;
 
-proptest! {
-    /// SimTime arithmetic: (t + d) - t == d, ordering is consistent.
-    #[test]
-    fn time_add_sub_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+/// SimTime arithmetic: (t + d) - t == d, ordering is consistent.
+#[test]
+fn time_add_sub_roundtrip() {
+    check("time_add_sub_roundtrip", |g| {
+        let t = g.u64_in(0, u64::MAX / 4);
+        let d = g.u64_in(0, u64::MAX / 4);
         let base = SimTime::from_nanos(t);
         let dur = SimDur::from_nanos(d);
         prop_assert_eq!(((base + dur) - base).as_nanos(), d);
         prop_assert!(base + dur >= base);
-    }
+        Ok(())
+    });
+}
 
-    /// Round-robin CPU bank conserves demand: total busy time equals total
-    /// submitted demand, and every job completes exactly once — under any
-    /// demand mix, CPU count, and quantum.
-    #[test]
-    fn rr_bank_conserves_demand(
-        demands in prop::collection::vec(1u64..2_000_000, 1..40),
-        cpus in 1usize..5,
-        quantum_us in 1u64..20_000,
-    ) {
+/// Round-robin CPU bank conserves demand: total busy time equals total
+/// submitted demand, and every job completes exactly once — under any
+/// demand mix, CPU count, and quantum.
+#[test]
+fn rr_bank_conserves_demand() {
+    check("rr_bank_conserves_demand", |g| {
+        let demands = g.vec_u64(1, 40, 1, 2_000_000);
+        let cpus = g.usize_in(1, 5);
+        let quantum_us = g.u64_in(1, 20_000);
         let mut bank = RrCpuBank::new(cpus, SimDur::from_nanos(quantum_us * 1_000));
         let mut pending: Vec<usize> = vec![]; // cpus with a live slice
         for (i, &d) in demands.iter().enumerate() {
@@ -53,14 +59,16 @@ proptest! {
         prop_assert_eq!(bank.busy_total().as_nanos(), total);
         prop_assert_eq!(bank.completed_jobs(), demands.len() as u64);
         prop_assert_eq!(bank.ready_len(), 0);
-    }
+        Ok(())
+    });
+}
 
-    /// FCFS server: jobs complete in submission order and busy time equals
-    /// the sum of service demands.
-    #[test]
-    fn fcfs_is_fifo_and_conserves_service(
-        services in prop::collection::vec(1u64..1_000_000, 1..30),
-    ) {
+/// FCFS server: jobs complete in submission order and busy time equals
+/// the sum of service demands.
+#[test]
+fn fcfs_is_fifo_and_conserves_service() {
+    check("fcfs_is_fifo_and_conserves_service", |g| {
+        let services = g.vec_u64(1, 30, 1, 1_000_000);
         let mut s = FcfsServer::new();
         let mut clock = SimTime::ZERO;
         let mut next_end: Option<SimDur> = None;
@@ -81,15 +89,17 @@ proptest! {
         let total: u64 = services.iter().sum();
         prop_assert_eq!(s.busy_total().as_nanos(), total);
         prop_assert!(!s.is_busy());
-    }
+        Ok(())
+    });
+}
 
-    /// Pipe: occupancy never exceeds capacity under arbitrary operation
-    /// sequences, and a parked sample is admitted exactly once.
-    #[test]
-    fn pipe_never_overflows(
-        capacity in 1usize..16,
-        ops in prop::collection::vec(prop::bool::ANY, 1..200),
-    ) {
+/// Pipe: occupancy never exceeds capacity under arbitrary operation
+/// sequences, and a parked sample is admitted exactly once.
+#[test]
+fn pipe_never_overflows() {
+    check("pipe_never_overflows", |g| {
+        let capacity = g.usize_in(1, 16);
+        let ops = g.vec_bool(1, 200);
         let mut p = Pipe::new(capacity);
         let mut admitted = 0u64;
         let mut parked = false;
@@ -103,24 +113,25 @@ proptest! {
                         Deposit::WouldBlock => parked = true,
                     }
                 }
-            } else if p.occupied() > 0
-                && p.drain().is_some() {
-                    admitted += 1;
-                    parked = false;
-                }
+            } else if p.occupied() > 0 && p.drain().is_some() {
+                admitted += 1;
+                parked = false;
+            }
             prop_assert!(p.occupied() <= capacity);
             prop_assert_eq!(p.writer_blocked(), parked);
         }
         prop_assert!(admitted as usize >= p.occupied());
-    }
+        Ok(())
+    });
+}
 
-    /// Rv quantile inverts the cdf for every family and parameter choice.
-    #[test]
-    fn quantile_inverts_cdf(
-        mean in 1.0f64..1e5,
-        cv in 0.05f64..3.0,
-        p in 0.001f64..0.999,
-    ) {
+/// Rv quantile inverts the cdf for every family and parameter choice.
+#[test]
+fn quantile_inverts_cdf() {
+    check("quantile_inverts_cdf", |g| {
+        let mean = g.f64_in(1.0, 1e5);
+        let cv = g.f64_in(0.05, 3.0);
+        let p = g.f64_in(0.001, 0.999);
         for rv in [
             Rv::exp(mean),
             Rv::lognormal_mean_std(mean, mean * cv),
@@ -129,11 +140,16 @@ proptest! {
             let x = rv.quantile(p);
             prop_assert!((rv.cdf(x) - p).abs() < 1e-6, "{rv:?} p={p}");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Samples from any Rv are non-negative and finite.
-    #[test]
-    fn samples_are_physical(seed in 0u64..u64::MAX, mean in 1.0f64..1e6) {
+/// Samples from any Rv are non-negative and finite.
+#[test]
+fn samples_are_physical() {
+    check("samples_are_physical", |g| {
+        let seed = g.u64_in(0, u64::MAX);
+        let mean = g.f64_in(1.0, 1e6);
         let mut rng = SplitMix64(seed);
         for rv in [Rv::exp(mean), Rv::lognormal_mean_std(mean, mean)] {
             for _ in 0..100 {
@@ -141,15 +157,16 @@ proptest! {
                 prop_assert!(x.is_finite() && x >= 0.0);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Tally: merging arbitrary partitions equals bulk accumulation.
-    #[test]
-    fn tally_merge_is_partition_invariant(
-        xs in prop::collection::vec(-1e6f64..1e6, 2..100),
-        split in 1usize..99,
-    ) {
-        let split = split.min(xs.len() - 1);
+/// Tally: merging arbitrary partitions equals bulk accumulation.
+#[test]
+fn tally_merge_is_partition_invariant() {
+    check("tally_merge_is_partition_invariant", |g| {
+        let xs = g.vec_f64(2, 100, -1e6, 1e6);
+        let split = g.usize_in(1, 99).min(xs.len() - 1);
         let mut bulk = Tally::new();
         for &x in &xs {
             bulk.record(x);
@@ -166,14 +183,16 @@ proptest! {
         prop_assert_eq!(a.count(), bulk.count());
         prop_assert!((a.mean() - bulk.mean()).abs() < 1e-6 * (1.0 + bulk.mean().abs()));
         prop_assert!((a.variance() - bulk.variance()).abs() < 1e-5 * (1.0 + bulk.variance()));
-    }
+        Ok(())
+    });
+}
 
-    /// 2^k factorial: explained percentages always total 100.
-    #[test]
-    fn factorial_variation_totals_hundred(
-        ys in prop::collection::vec(0.0f64..1e3, 8),
-        reps in prop::collection::vec(0.0f64..10.0, 8),
-    ) {
+/// 2^k factorial: explained percentages always total 100.
+#[test]
+fn factorial_variation_totals_hundred() {
+    check("factorial_variation_totals_hundred", |g| {
+        let ys = g.vec_f64(8, 9, 0.0, 1e3);
+        let reps = g.vec_f64(8, 9, 0.0, 10.0);
         let mut d = Design2kr::new(vec!["a", "b", "c"]);
         let mut nontrivial = false;
         for cfg in 0..8usize {
@@ -191,27 +210,29 @@ proptest! {
         for t in &v.terms {
             prop_assert!(t.pct >= -1e-12);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Trace codec: arbitrary records survive a write/read round trip.
-    #[test]
-    fn trace_codec_roundtrip(
-        recs in prop::collection::vec(
-            (0.0f64..1e9, 0u32..64, 0usize..5, prop::bool::ANY, 0.001f64..1e7),
-            1..50,
-        ),
-    ) {
+/// Trace codec: arbitrary records survive a write/read round trip.
+#[test]
+fn trace_codec_roundtrip() {
+    check("trace_codec_roundtrip", |g| {
         let classes = ProcessClass::ALL;
-        let records: Vec<TraceRecord> = recs
-            .into_iter()
-            .map(|(t, pid, ci, is_cpu, occ)| TraceRecord {
+        let records: Vec<TraceRecord> = g.vec_of(1, 50, |g| {
+            let t = g.f64_in(0.0, 1e9);
+            let pid = g.u64_in(0, 64) as u32;
+            let class = *g.choice(&classes);
+            let is_cpu = g.bool();
+            let occ = g.f64_in(0.001, 1e7);
+            TraceRecord {
                 t_us: (t * 1e3).round() / 1e3,
                 pid,
-                class: classes[ci],
+                class,
                 resource: if is_cpu { Resource::Cpu } else { Resource::Network },
                 occupancy_us: (occ * 1e3).round() / 1e3,
-            })
-            .collect();
+            }
+        });
         let t = Trace::from_records(records);
         let mut buf = Vec::new();
         t.write_to(&mut buf).expect("write");
@@ -224,5 +245,6 @@ proptest! {
             prop_assert!((a.t_us - b.t_us).abs() < 5e-4);
             prop_assert!((a.occupancy_us - b.occupancy_us).abs() < 5e-4);
         }
-    }
+        Ok(())
+    });
 }
