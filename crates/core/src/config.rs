@@ -1,6 +1,8 @@
 //! Simulation configuration: architecture, scheduling policy, forwarding
-//! configuration, and the experiment factors of Section 4.1.
+//! configuration, the experiment factors of Section 4.1, and the
+//! fault-injection plan for graceful-degradation studies.
 
+use crate::pipe::OverflowPolicy;
 use paradyn_workload::{AppProfile, ReplaySchedule, RoccParams};
 use std::sync::Arc;
 
@@ -77,6 +79,99 @@ impl Default for AdaptiveBatch {
     }
 }
 
+/// Daemon crash-and-restart fault injection: each daemon fails after an
+/// exponentially distributed uptime and comes back after a fixed recovery
+/// delay. A crash loses the daemon's buffered (not-yet-collected) samples
+/// and any batch whose collection cycle is in flight — which is exactly
+/// why BF, holding larger in-daemon batches, loses more samples per crash
+/// than CF.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonCrashFaults {
+    /// Mean time between failures per daemon (µs).
+    pub mtbf_us: f64,
+    /// Recovery delay after a crash (µs).
+    pub recovery_us: f64,
+}
+
+impl Default for DaemonCrashFaults {
+    fn default() -> Self {
+        DaemonCrashFaults {
+            mtbf_us: 2_000_000.0,
+            recovery_us: 100_000.0,
+        }
+    }
+}
+
+/// Transient forwarding-link failures: each forward attempt fails with
+/// `fail_prob` and is retried with exponential backoff
+/// (`backoff_base_us · 2^(attempt-1)`) up to `max_retries` times, after
+/// which the whole batch is dropped and counted as lost.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkFaults {
+    /// Probability that one forward attempt fails.
+    pub fail_prob: f64,
+    /// Retries allowed per hop before the batch is dropped.
+    pub max_retries: u32,
+    /// Backoff before the first retry (µs); doubles per attempt.
+    pub backoff_base_us: f64,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults {
+            fail_prob: 0.05,
+            max_retries: 3,
+            backoff_base_us: 5_000.0,
+        }
+    }
+}
+
+/// Slow-consumer stalls: the main process's host CPU is periodically
+/// occupied by an injected burst of non-Paradyn work (mean inter-stall
+/// time `interval_us`, burst length `stall_us`), delaying message
+/// consumption and backing the forwarding path up.
+#[derive(Clone, Copy, Debug)]
+pub struct ConsumerStallFaults {
+    /// Mean time between stalls (µs, exponential).
+    pub interval_us: f64,
+    /// CPU burst injected per stall (µs).
+    pub stall_us: f64,
+}
+
+impl Default for ConsumerStallFaults {
+    fn default() -> Self {
+        ConsumerStallFaults {
+            interval_us: 500_000.0,
+            stall_us: 50_000.0,
+        }
+    }
+}
+
+/// The complete fault-injection plan of a run. The default plan injects
+/// nothing and uses the paper's blocking pipes, so existing configurations
+/// behave bit-identically to the fault-free model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// What a full pipe does with an incoming sample.
+    pub overflow: OverflowPolicy,
+    /// Daemon crash+restart injection (`None` = daemons never crash).
+    pub daemon_crash: Option<DaemonCrashFaults>,
+    /// Forwarding-link failure injection (`None` = links never fail).
+    pub link: Option<LinkFaults>,
+    /// Slow-consumer stall injection (`None` = no stalls).
+    pub stall: Option<ConsumerStallFaults>,
+}
+
+impl FaultPlan {
+    /// Whether the plan injects any fault or lossy policy at all.
+    pub fn is_active(&self) -> bool {
+        self.overflow != OverflowPolicy::Block
+            || self.daemon_crash.is_some()
+            || self.link.is_some()
+            || self.stall.is_some()
+    }
+}
+
 /// Full configuration of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -124,6 +219,8 @@ pub struct SimConfig {
     pub instrumented: bool,
     /// Include the PVM daemon and other-process background load.
     pub background: bool,
+    /// Fault-injection plan (default: no faults, blocking pipes).
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -148,6 +245,7 @@ impl Default for SimConfig {
             seed: 0x5EED_CAFE,
             instrumented: true,
             background: true,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -239,6 +337,30 @@ impl SimConfig {
                 );
             }
         }
+        if let Some(c) = &self.faults.daemon_crash {
+            if c.mtbf_us <= 0.0 {
+                return Err("daemon-crash MTBF must be positive".into());
+            }
+            if c.recovery_us <= 0.0 {
+                return Err("daemon-crash recovery delay must be positive".into());
+            }
+        }
+        if let Some(l) = &self.faults.link {
+            if !(0.0..=1.0).contains(&l.fail_prob) {
+                return Err("link failure probability must be in [0, 1]".into());
+            }
+            if l.max_retries > 64 {
+                return Err("link max retries unreasonably large (> 64)".into());
+            }
+            if l.backoff_base_us <= 0.0 {
+                return Err("link retry backoff must be positive".into());
+            }
+        }
+        if let Some(s) = &self.faults.stall {
+            if s.interval_us <= 0.0 || s.stall_us <= 0.0 {
+                return Err("consumer-stall interval and duration must be positive".into());
+            }
+        }
         Ok(())
     }
 }
@@ -320,5 +442,86 @@ mod tests {
         };
         assert!(!c.is_cf());
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn default_fault_plan_is_inert_and_valid() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        assert_eq!(plan.overflow, OverflowPolicy::Block);
+        let full = SimConfig {
+            faults: FaultPlan {
+                overflow: OverflowPolicy::DropOldest,
+                daemon_crash: Some(DaemonCrashFaults::default()),
+                link: Some(LinkFaults::default()),
+                stall: Some(ConsumerStallFaults::default()),
+            },
+            ..Default::default()
+        };
+        assert!(full.faults.is_active());
+        full.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_fault_plans_are_rejected() {
+        let base = SimConfig::default();
+        for (msg, faults) in [
+            (
+                "zero mtbf",
+                FaultPlan {
+                    daemon_crash: Some(DaemonCrashFaults {
+                        mtbf_us: 0.0,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            ),
+            (
+                "negative recovery",
+                FaultPlan {
+                    daemon_crash: Some(DaemonCrashFaults {
+                        recovery_us: -1.0,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            ),
+            (
+                "fail_prob > 1",
+                FaultPlan {
+                    link: Some(LinkFaults {
+                        fail_prob: 1.5,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            ),
+            (
+                "huge retries",
+                FaultPlan {
+                    link: Some(LinkFaults {
+                        max_retries: 1000,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            ),
+            (
+                "zero stall",
+                FaultPlan {
+                    stall: Some(ConsumerStallFaults {
+                        stall_us: 0.0,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            ),
+        ] {
+            let cfg = SimConfig {
+                faults,
+                ..base.clone()
+            };
+            assert!(cfg.validate().is_err(), "expected rejection: {msg}");
+        }
     }
 }

@@ -49,6 +49,10 @@ pub struct Replicated {
     pub latency_s: MeanCi,
     /// CI for received-sample throughput (per s).
     pub throughput_per_s: MeanCi,
+    /// CI for samples lost to faults/lossy pipes per replication.
+    pub samples_lost: MeanCi,
+    /// CI for total daemon downtime per replication (s).
+    pub daemon_downtime_s: MeanCi,
 }
 
 /// Seed of replication `rep` under master seed `master`: the first output
@@ -144,6 +148,8 @@ pub fn run_replicated_threads(
         app_cpu_util_per_node: ci(col(&|m| m.app_cpu_util_per_node)),
         latency_s: ci(col(&|m| m.latency_mean_s)),
         throughput_per_s: ci(col(&|m| m.throughput_per_s)),
+        samples_lost: ci(col(&|m| m.samples_lost as f64)),
+        daemon_downtime_s: ci(col(&|m| m.daemon_downtime_s)),
         runs,
     }
 }

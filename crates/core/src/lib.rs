@@ -38,12 +38,15 @@ pub mod model;
 pub mod pipe;
 pub mod validate;
 
-pub use config::{AdaptiveBatch, Arch, Forwarding, SampleTiming, SimConfig};
+pub use config::{
+    AdaptiveBatch, Arch, ConsumerStallFaults, DaemonCrashFaults, FaultPlan, Forwarding,
+    LinkFaults, SampleTiming, SimConfig,
+};
 pub use experiment::{
     default_threads, replication_seed, run, run_many, run_replicated, run_replicated_threads,
     Replicated,
 };
 pub use metrics::SimMetrics;
 pub use model::{build, RoccModel};
-pub use pipe::{Deposit, Pipe};
+pub use pipe::{Deposit, OverflowPolicy, Pipe};
 pub use validate::{validate, validation_config, ValidationResult, TABLE3};

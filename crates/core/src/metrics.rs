@@ -6,7 +6,7 @@
 use crate::config::Arch;
 use crate::model::types::class_idx;
 use crate::model::RoccModel;
-use paradyn_des::SimDur;
+use paradyn_des::{SimDur, SimTime};
 use paradyn_workload::ProcessClass;
 
 /// Aggregated results of one simulation run.
@@ -65,6 +65,40 @@ pub struct SimMetrics {
     pub mean_daemon_batch: f64,
     /// Total adaptive batch adjustments across daemons.
     pub batch_adjustments: u64,
+    /// Sample-emission attempts, including ones lost before entering a
+    /// pipe. Conservation: `emitted == received + lost + in-flight`.
+    pub emitted_samples: u64,
+    /// Samples lost to all causes combined.
+    pub samples_lost: u64,
+    /// Samples dropped by a lossy pipe overflow policy.
+    pub lost_overflow: u64,
+    /// Sample emissions lost because the writer was blocked in an earlier
+    /// write.
+    pub lost_while_blocked: u64,
+    /// Samples lost to daemon crashes (pipe backlog + in-flight batches).
+    pub lost_daemon_crash: u64,
+    /// Samples lost to exhausted forwarding-link retries.
+    pub lost_link: u64,
+    /// Samples still in flight at the horizon (parked, buffered, or in an
+    /// unconsumed batch).
+    pub samples_in_flight: u64,
+    /// Deposits rejected because the writer was already blocked (always 0
+    /// unless the model regresses; see `Deposit::AlreadyBlocked`).
+    pub rejected_deposits: u64,
+    /// Total time application writers spent blocked on full pipes (s),
+    /// including blocks still open at the horizon.
+    pub writer_block_time_s: f64,
+    /// Injected daemon crashes.
+    pub daemon_crashes: u64,
+    /// Total daemon downtime (s), including outages still open at the
+    /// horizon.
+    pub daemon_downtime_s: f64,
+    /// Forward retries caused by injected link failures.
+    pub forward_retries: u64,
+    /// Mean daemon recovery latency per crash (s); `NaN` with no crashes.
+    pub recovery_latency_mean_s: f64,
+    /// CPU time injected by consumer-stall faults (s).
+    pub consumer_stall_time_s: f64,
     /// Events executed by the simulator.
     pub events: u64,
 }
@@ -109,6 +143,19 @@ impl SimMetrics {
         };
         let received = m.acc.received_samples;
         let (fw_batches, fw_samples) = m.total_forwarded();
+        // Runs start at time zero, so the horizon is also the end instant.
+        let end = SimTime::ZERO + horizon;
+        let open_block_us: f64 = m
+            .apps
+            .iter()
+            .filter_map(|a| a.blocked_since)
+            .map(|since| (end - since).as_micros_f64())
+            .sum();
+        let lost_overflow = m.total_overflow_lost();
+        let samples_lost =
+            lost_overflow + m.acc.lost_blocked + m.acc.lost_crash + m.acc.lost_link;
+        let crashes = m.total_crashes();
+        let downtime_s = m.total_downtime_at(end).as_secs_f64();
         SimMetrics {
             duration_s: dur,
             nodes,
@@ -144,6 +191,24 @@ impl SimMetrics {
             forwarded_samples: fw_samples,
             mean_daemon_batch: m.mean_daemon_batch(),
             batch_adjustments: m.total_batch_adjustments(),
+            emitted_samples: m.acc.emitted_samples,
+            samples_lost,
+            lost_overflow,
+            lost_while_blocked: m.acc.lost_blocked,
+            lost_daemon_crash: m.acc.lost_crash,
+            lost_link: m.acc.lost_link,
+            samples_in_flight: m.samples_in_flight(),
+            rejected_deposits: m.total_rejected_deposits(),
+            writer_block_time_s: (m.acc.writer_block_us + open_block_us) * 1e-6,
+            daemon_crashes: crashes,
+            daemon_downtime_s: downtime_s,
+            forward_retries: m.total_retries(),
+            recovery_latency_mean_s: if crashes > 0 {
+                downtime_s / crashes as f64
+            } else {
+                f64::NAN
+            },
+            consumer_stall_time_s: m.acc.stall_injected_us * 1e-6,
             events,
         }
     }

@@ -85,10 +85,9 @@ impl RoccModel {
         }
         self.barrier_waiting.push(app);
         if self.cfg.sample_on_barrier && self.cfg.instrumented {
-            // A blocked writer cannot emit the event record.
-            if !self.apps[app as usize].pipe.writer_blocked() {
-                self.deposit_sample(ctx, app);
-            }
+            // A blocked writer cannot emit the event record;
+            // `deposit_sample` counts that case as a lost emission.
+            self.deposit_sample(ctx, app);
         }
         if self.barrier_waiting.len() == self.apps.len() {
             self.acc.barrier_ops += 1;
@@ -114,13 +113,17 @@ impl RoccModel {
     }
 
     /// Deposit one sample generated now into `app`'s pipe, waking the
-    /// daemon if it can start a collection cycle.
+    /// daemon if it can start a collection cycle. Every call counts as one
+    /// emission attempt, whatever its fate — the conservation invariant
+    /// (emitted == received + lost + in-flight) is anchored here.
     pub(crate) fn deposit_sample(&mut self, ctx: &mut Ctx<Ev>, app: AppId) {
         let now = ctx.now();
+        self.acc.emitted_samples += 1;
         let a = &mut self.apps[app as usize];
         if a.pipe.writer_blocked() {
             // Already blocked on an earlier sample; drop this event record
             // (the writer is stuck inside the earlier write).
+            self.acc.lost_blocked += 1;
             return;
         }
         let pd = a.pd;
@@ -133,6 +136,30 @@ impl RoccModel {
             Deposit::WouldBlock => {
                 // Writer blocks; the daemon's next drain will admit the
                 // parked sample and resume the process.
+                a.blocked_since = Some(now);
+            }
+            Deposit::AlreadyBlocked => {
+                // Unreachable — guarded above — but keep the books straight
+                // if the guard ever regresses.
+                debug_assert!(false, "deposit raced a blocked writer");
+                self.acc.lost_blocked += 1;
+            }
+            Deposit::DroppedNewest => {
+                // Lost on the floor; the pipe counted it.
+            }
+            Deposit::DroppedOldest => {
+                // The newcomer takes the place of this app's oldest
+                // buffered sample. If every buffered sample of this app is
+                // already inside a collecting batch (uncancellable), the
+                // newcomer is dropped instead — the pipe counted one loss
+                // and occupancy is unchanged either way.
+                let fifo = &mut self.daemons[pd as usize].fifo;
+                if let Some(idx) = fifo.iter().position(|&(_, who)| who == app) {
+                    fifo.remove(idx);
+                    fifo.push_back((now, app));
+                    self.acc.generated_samples += 1;
+                    self.maybe_collect(ctx, pd);
+                }
             }
         }
     }

@@ -1,11 +1,11 @@
 //! Paradyn-daemon behaviour: collection cycles under the CF/BF policies,
-//! pipe draining with writer wake-up, and direct or binary-tree forwarding
-//! with en-route merging.
+//! pipe draining with writer wake-up, direct or binary-tree forwarding
+//! with en-route merging, and injected crash/link faults.
 
 use super::types::{tree_parent, Batch, CpuJob, CpuKind, Dest, Ev, NetJob, PdId, Token};
 use super::{RoccModel, Step};
 use crate::config::{Arch, Forwarding};
-use paradyn_des::Ctx;
+use paradyn_des::{Ctx, SimDur};
 use paradyn_workload::ProcessClass;
 
 impl RoccModel {
@@ -23,7 +23,7 @@ impl RoccModel {
     /// a cycle started.
     fn try_collect(&mut self, ctx: &mut Ctx<Ev>, pd: PdId, force: bool) -> bool {
         let d = &mut self.daemons[pd as usize];
-        if d.collecting {
+        if d.collecting || d.down {
             return false;
         }
         let threshold = d.batch;
@@ -56,6 +56,7 @@ impl RoccModel {
             sum_gen_ns,
             ready_ns: ctx.now().as_nanos(),
             drain_apps,
+            attempts: 0,
         });
         self.submit_cpu(
             ctx,
@@ -76,7 +77,7 @@ impl RoccModel {
             return;
         };
         let d = &mut self.daemons[pd as usize];
-        if d.collecting {
+        if d.collecting || d.down {
             return;
         }
         let Some(&(oldest, _)) = d.fifo.front() else {
@@ -109,6 +110,17 @@ impl RoccModel {
     pub(crate) fn adapt_tick(&mut self, ctx: &mut Ctx<Ev>, pd: PdId) {
         let a = self.cfg.adaptive.expect("AdaptTick only scheduled when adaptive");
         let d = &mut self.daemons[pd as usize];
+        if d.down {
+            // A crashed daemon does no work; skip the adjustment (its low
+            // utilization is an outage, not spare capacity) but keep the
+            // control loop ticking.
+            d.cpu_at_last_tick_us = d.cpu_used_us;
+            ctx.schedule_in(
+                paradyn_des::SimDur::from_micros_f64(a.interval_us),
+                Ev::AdaptTick { pd },
+            );
+            return;
+        }
         let used = d.cpu_used_us - d.cpu_at_last_tick_us;
         d.cpu_at_last_tick_us = d.cpu_used_us;
         let util = used / a.interval_us;
@@ -143,20 +155,135 @@ impl RoccModel {
         for app in drain_apps {
             self.drain_one(ctx, app);
         }
-        let (count, node) = {
+        self.daemons[pd as usize].collecting = false;
+        if self.daemons[pd as usize].doomed {
+            // The daemon crashed mid-cycle: the batch dies with it. The
+            // pipe slots were still freed above — the samples are gone,
+            // not stuck.
+            self.daemons[pd as usize].doomed = false;
+            let batch = self.tokens.remove(&token).expect("collect token live");
+            self.acc.lost_crash += batch.count as u64;
+            self.daemons[pd as usize]
+                .fault_mon
+                .add_lost(batch.count as u64);
+            if !self.daemons[pd as usize].down {
+                self.maybe_collect(ctx, pd);
+            }
+            return;
+        }
+        let count = {
             let d = &mut self.daemons[pd as usize];
-            d.collecting = false;
             let count = self.tokens[&token].count;
             d.forwarded_batches += 1;
             d.forwarded_samples += count as u64;
-            (count, d.node)
+            count
         };
         let p = &self.cfg.params;
         let demand = p.pd.net_req.sample(&mut self.daemons[pd as usize].net_rng)
             + p.pd_net_per_extra_sample_us * (count as f64 - 1.0);
-        let dest = self.forward_dest(node);
-        self.submit_net(ctx, NetJob::Forward { token, dest }, demand);
+        self.submit_forward(ctx, pd, token, demand);
         // The daemon is free again; more samples may already be buffered.
+        self.maybe_collect(ctx, pd);
+    }
+
+    /// Put one forwarding hop on the network, subject to injected link
+    /// faults: a failed attempt backs off exponentially and retries from
+    /// the same daemon; once the retry budget is exhausted the whole batch
+    /// is dropped. The network demand is drawn once per hop and reused
+    /// across retries, so link faults perturb no other random stream.
+    pub(crate) fn submit_forward(
+        &mut self,
+        ctx: &mut Ctx<Ev>,
+        pd: PdId,
+        token: Token,
+        demand_us: f64,
+    ) {
+        if let Some(link) = self.cfg.faults.link {
+            let failed = self.daemons[pd as usize].link_rng.next_f64() < link.fail_prob;
+            if failed {
+                let attempts = {
+                    let b = self.tokens.get_mut(&token).expect("forward token live");
+                    b.attempts += 1;
+                    b.attempts
+                };
+                if attempts > link.max_retries {
+                    let batch = self.tokens.remove(&token).expect("forward token live");
+                    self.acc.lost_link += batch.count as u64;
+                    self.daemons[pd as usize]
+                        .fault_mon
+                        .add_lost(batch.count as u64);
+                    return;
+                }
+                self.daemons[pd as usize].fault_mon.add_retry();
+                let backoff_us =
+                    link.backoff_base_us * (1u64 << (attempts - 1).min(20)) as f64;
+                ctx.schedule_in(
+                    SimDur::from_micros_f64(backoff_us),
+                    Ev::RetryForward {
+                        pd,
+                        token,
+                        demand_us,
+                    },
+                );
+                return;
+            }
+            // Hop succeeded: the retry budget is per hop.
+            self.tokens
+                .get_mut(&token)
+                .expect("forward token live")
+                .attempts = 0;
+        }
+        let dest = self.forward_dest(self.daemons[pd as usize].node);
+        self.submit_net(ctx, NetJob::Forward { token, dest }, demand_us);
+    }
+
+    /// Injected daemon crash: the daemon dies, taking its pipe backlog and
+    /// any in-flight collection cycle with it. The pipe is conceptually
+    /// torn down and recreated on restart — unread samples are lost, their
+    /// slots are freed, and a blocked writer's parked sample is admitted
+    /// to the fresh pipe (graceful degradation: the application continues).
+    pub(crate) fn daemon_crash(&mut self, ctx: &mut Ctx<Ev>, pd: PdId) {
+        let now = ctx.now();
+        let entries = {
+            let d = &mut self.daemons[pd as usize];
+            debug_assert!(!d.down, "crash scheduled while already down");
+            d.down = true;
+            if d.collecting {
+                d.doomed = true;
+            }
+            // Invalidate any armed flush timer.
+            d.flush_gen = d.flush_gen.wrapping_add(1);
+            d.fault_mon.crash_at(now);
+            std::mem::take(&mut d.fifo)
+        };
+        let n = entries.len() as u64;
+        self.acc.lost_crash += n;
+        self.daemons[pd as usize].fault_mon.add_lost(n);
+        for (_gen, app) in entries {
+            self.drain_one(ctx, app);
+        }
+        let delay = self.daemons[pd as usize]
+            .crash
+            .as_mut()
+            .expect("crash event only scheduled with a crash plan")
+            .recovery_delay();
+        ctx.schedule_in(delay, Ev::DaemonRecover { pd });
+    }
+
+    /// The daemon finished restarting: resume collection and schedule its
+    /// next failure.
+    pub(crate) fn daemon_recover(&mut self, ctx: &mut Ctx<Ev>, pd: PdId) {
+        let now = ctx.now();
+        let ttf = {
+            let d = &mut self.daemons[pd as usize];
+            d.down = false;
+            d.fault_mon.recover_at(now);
+            d.crash
+                .as_mut()
+                .expect("recover event only scheduled with a crash plan")
+                .time_to_failure()
+        };
+        ctx.schedule_in(ttf, Ev::DaemonCrash { pd });
         self.maybe_collect(ctx, pd);
     }
 
@@ -177,6 +304,9 @@ impl RoccModel {
         let pd = a.pd;
         if let Some(gen) = a.pipe.drain() {
             self.acc.generated_samples += 1;
+            if let Some(since) = a.blocked_since.take() {
+                self.acc.writer_block_us += (ctx.now() - since).as_micros_f64();
+            }
             let resume = a.paused.take();
             let restart_timer = !a.sampling_active;
             self.daemons[pd as usize].fifo.push_back((gen, app));
@@ -220,11 +350,10 @@ impl RoccModel {
             .pd
             .net_req
             .sample(&mut self.daemons[node as usize].net_rng);
-        let dest = if node == 0 {
-            Dest::Main
-        } else {
-            Dest::Node(tree_parent(node))
-        };
-        self.submit_net(ctx, NetJob::Forward { token, dest }, demand);
+        // Merges only occur on MPP trees, where daemon index == node, so
+        // `submit_forward`'s destination lookup is the same Main-or-parent
+        // hop this relay needs — and the relay hop is subject to the same
+        // injected link faults as a leaf forward.
+        self.submit_forward(ctx, node, token, demand);
     }
 }

@@ -25,7 +25,8 @@ use crate::config::{Arch, SampleTiming, SimConfig};
 use crate::metrics::SimMetrics;
 use crate::pipe::Pipe;
 use paradyn_des::{
-    Ctx, FcfsServer, Model, Offer, RrCpuBank, Sim, SimDur, SimTime, StreamRng, Streams, Submit,
+    Ctx, FaultMonitor, FaultSchedule, FcfsServer, Model, Offer, RrCpuBank, Sim, SimDur, SimTime,
+    StreamRng, Streams, Submit,
 };
 use paradyn_workload::ProcessClass;
 use std::collections::{HashMap, VecDeque};
@@ -43,6 +44,9 @@ mod stream_kind {
     pub const OTHER_CPU: u64 = 8;
     pub const OTHER_NET: u64 = 9;
     pub const MAIN: u64 = 10;
+    pub const FAULT_CRASH: u64 = 11;
+    pub const FAULT_LINK: u64 = 12;
+    pub const FAULT_STALL: u64 = 13;
 }
 
 /// One application process's simulation state.
@@ -59,6 +63,9 @@ pub(crate) struct AppProc {
     pub sample_rng: StreamRng,
     /// Pipe to the daemon.
     pub pipe: Pipe,
+    /// When the writer entered its current blocked wait (for
+    /// writer-block-time accounting).
+    pub blocked_since: Option<SimTime>,
     /// Step the process will resume with once its blocked pipe write
     /// completes.
     pub paused: Option<Step>,
@@ -117,6 +124,17 @@ pub(crate) struct Daemon {
     pub forwarded_batches: u64,
     /// Samples forwarded so far.
     pub forwarded_samples: u64,
+    /// Whether the daemon is currently crashed.
+    pub down: bool,
+    /// Whether the in-flight collection cycle belongs to a crashed daemon
+    /// incarnation (its batch is lost when the CPU work completes).
+    pub doomed: bool,
+    /// Crash/recovery event source (`None` = crash injection off).
+    pub crash: Option<FaultSchedule>,
+    /// Randomness for injected forwarding-link failures.
+    pub link_rng: StreamRng,
+    /// Fault-cost bookkeeping (crashes, losses, retries, downtime).
+    pub fault_mon: FaultMonitor,
 }
 
 /// Internal metric accumulators.
@@ -138,6 +156,21 @@ pub(crate) struct Acc {
     pub generated_samples: u64,
     /// Barrier release operations.
     pub barrier_ops: u64,
+    /// Every sample-emission attempt, including ones that were dropped or
+    /// arrived while the writer was blocked (the conservation basis:
+    /// emitted == received + lost + in-flight).
+    pub emitted_samples: u64,
+    /// Samples lost because they fired while the writer was blocked.
+    pub lost_blocked: u64,
+    /// Samples lost to daemon crashes (buffered + in-flight batches).
+    pub lost_crash: u64,
+    /// Samples lost to exhausted forwarding-link retries.
+    pub lost_link: u64,
+    /// Total time application writers spent blocked on full pipes (µs),
+    /// for intervals closed before the horizon.
+    pub writer_block_us: f64,
+    /// CPU time injected by consumer-stall faults (µs).
+    pub stall_injected_us: f64,
 }
 
 /// The full system model.
@@ -155,6 +188,7 @@ pub struct RoccModel {
     pub(crate) main_rng: StreamRng,
     pub(crate) pvmd_rngs: Vec<StreamRng>,
     pub(crate) other_rngs: Vec<StreamRng>,
+    pub(crate) stall_rng: StreamRng,
     pub(crate) acc: Acc,
 }
 
@@ -201,7 +235,8 @@ impl RoccModel {
                     cpu_rng: streams.stream3(stream_kind::APP_CPU, gi as u64, 0),
                     net_rng: streams.stream3(stream_kind::APP_NET, gi as u64, 0),
                     sample_rng: streams.stream3(stream_kind::APP_SAMPLE, gi as u64, 0),
-                    pipe: Pipe::new(cfg.params.pipe_capacity),
+                    pipe: Pipe::with_policy(cfg.params.pipe_capacity, cfg.faults.overflow),
+                    blocked_since: None,
                     paused: None,
                     sampling_active: false,
                     work_since_barrier_us: 0.0,
@@ -235,6 +270,17 @@ impl RoccModel {
                 batch_adjustments: 0,
                 forwarded_batches: 0,
                 forwarded_samples: 0,
+                down: false,
+                doomed: false,
+                crash: cfg.faults.daemon_crash.map(|c| {
+                    FaultSchedule::new(
+                        streams.stream3(stream_kind::FAULT_CRASH, pd as u64, 0),
+                        c.mtbf_us,
+                        c.recovery_us,
+                    )
+                }),
+                link_rng: streams.stream3(stream_kind::FAULT_LINK, pd as u64, 0),
+                fault_mon: FaultMonitor::new(),
             })
             .collect();
         let bg_nodes = match cfg.arch {
@@ -255,6 +301,7 @@ impl RoccModel {
                     )
                 })
                 .collect(),
+            stall_rng: streams.stream3(stream_kind::FAULT_STALL, 0, 0),
             cfg,
             banks,
             shared_net,
@@ -407,6 +454,44 @@ impl RoccModel {
         let s = self.daemons.iter().map(|d| d.forwarded_samples).sum();
         (b, s)
     }
+
+    /// Samples dropped by lossy pipe overflow, across all pipes.
+    pub(crate) fn total_overflow_lost(&self) -> u64 {
+        self.apps.iter().map(|a| a.pipe.lost()).sum()
+    }
+
+    /// Deposits rejected because the writer was already blocked.
+    pub(crate) fn total_rejected_deposits(&self) -> u64 {
+        self.apps.iter().map(|a| a.pipe.rejected_deposits()).sum()
+    }
+
+    pub(crate) fn total_crashes(&self) -> u64 {
+        self.daemons.iter().map(|d| d.fault_mon.crashes()).sum()
+    }
+
+    pub(crate) fn total_retries(&self) -> u64 {
+        self.daemons.iter().map(|d| d.fault_mon.retries()).sum()
+    }
+
+    /// Total daemon downtime up to `end`, including still-open outages.
+    pub(crate) fn total_downtime_at(&self, end: SimTime) -> SimDur {
+        self.daemons
+            .iter()
+            .fold(SimDur::ZERO, |acc, d| acc + d.fault_mon.downtime_at(end))
+    }
+
+    /// Samples emitted but neither received nor lost yet: parked on a full
+    /// pipe, buffered in a daemon FIFO, or riding an in-flight batch.
+    pub(crate) fn samples_in_flight(&self) -> u64 {
+        let parked: u64 = self
+            .apps
+            .iter()
+            .map(|a| u64::from(a.pipe.writer_blocked()))
+            .sum();
+        let buffered: u64 = self.daemons.iter().map(|d| d.fifo.len() as u64).sum();
+        let in_batches: u64 = self.tokens.values().map(|b| b.count as u64).sum();
+        parked + buffered + in_batches
+    }
 }
 
 impl Model for RoccModel {
@@ -450,6 +535,14 @@ impl Model for RoccModel {
             Ev::AdaptTick { pd } => self.adapt_tick(ctx, pd),
             Ev::OtherCpuArrival { node } => self.other_cpu_arrival(ctx, node),
             Ev::OtherNetArrival { node } => self.other_net_arrival(ctx, node),
+            Ev::DaemonCrash { pd } => self.daemon_crash(ctx, pd),
+            Ev::DaemonRecover { pd } => self.daemon_recover(ctx, pd),
+            Ev::RetryForward {
+                pd,
+                token,
+                demand_us,
+            } => self.submit_forward(ctx, pd, token, demand_us),
+            Ev::MainStall => self.main_stall(ctx),
         }
     }
 }
@@ -470,6 +563,19 @@ impl RoccModel {
                 for pd in 0..self.daemons.len() as u32 {
                     ctx.schedule_in(interval, Ev::AdaptTick { pd });
                 }
+            }
+            // Fault injection only makes sense with a live IS; nothing is
+            // scheduled (and no random draws happen) when the plan is off,
+            // so fault-free runs are bit-identical to the fault-free model.
+            for pd in 0..self.daemons.len() as u32 {
+                if let Some(crash) = &mut self.daemons[pd as usize].crash {
+                    let ttf = crash.time_to_failure();
+                    ctx.schedule_in(ttf, Ev::DaemonCrash { pd });
+                }
+            }
+            if self.cfg.faults.stall.is_some() {
+                let gap = self.draw_stall_gap();
+                ctx.schedule_in(gap, Ev::MainStall);
             }
         }
         if self.cfg.background {
@@ -508,6 +614,32 @@ pub(crate) enum BgKind {
 }
 
 impl RoccModel {
+    /// Time until the next injected consumer stall (exponential).
+    fn draw_stall_gap(&mut self) -> SimDur {
+        let s = self.cfg.faults.stall.expect("stall gap drawn with stalls on");
+        let us = paradyn_stats::Rv::exp(s.interval_us).sample(&mut self.stall_rng);
+        SimDur::from_micros_f64(us)
+    }
+
+    /// Injected slow-consumer stall: the main process's host CPU absorbs a
+    /// burst of competing (Other-class) work, delaying `MainRecv`
+    /// processing through round-robin sharing.
+    fn main_stall(&mut self, ctx: &mut Ctx<Ev>) {
+        let s = self.cfg.faults.stall.expect("MainStall only scheduled with stalls on");
+        self.acc.stall_injected_us += s.stall_us;
+        self.submit_cpu(
+            ctx,
+            self.bank_of(0),
+            CpuJob {
+                class: ProcessClass::Other,
+                kind: CpuKind::OtherCpu,
+            },
+            s.stall_us,
+        );
+        let gap = self.draw_stall_gap();
+        ctx.schedule_in(gap, Ev::MainStall);
+    }
+
     pub(crate) fn draw_interarrival(&mut self, node: u32, kind: BgKind) -> SimDur {
         let p = &self.cfg.params;
         let us = match kind {

@@ -151,6 +151,30 @@ pub enum Ev {
         /// The daemon.
         pd: PdId,
     },
+    /// Injected fault: daemon `pd` crashes, losing its buffered samples.
+    DaemonCrash {
+        /// The crashing daemon.
+        pd: PdId,
+    },
+    /// Daemon `pd` finishes restarting and resumes collection.
+    DaemonRecover {
+        /// The recovering daemon.
+        pd: PdId,
+    },
+    /// Retry a forward whose previous attempt hit an injected link
+    /// failure (fires after the exponential backoff).
+    RetryForward {
+        /// Daemon (or merge node) performing the hop.
+        pd: PdId,
+        /// The batch being forwarded.
+        token: Token,
+        /// Network occupancy demand of the hop (µs), reused across
+        /// attempts so a retry costs no extra random draws.
+        demand_us: f64,
+    },
+    /// Injected fault: the main process's host CPU absorbs a burst of
+    /// competing work, stalling message consumption.
+    MainStall,
 }
 
 /// Payload of an in-flight batch of samples.
@@ -171,6 +195,9 @@ pub struct Batch {
     /// Application processes whose pipe slots this batch still holds;
     /// drained (and writers unblocked) when the collect CPU work finishes.
     pub drain_apps: Vec<AppId>,
+    /// Failed forward attempts on the current hop (injected link faults);
+    /// reset to zero whenever a hop succeeds.
+    pub attempts: u32,
 }
 
 impl Batch {
@@ -231,6 +258,7 @@ mod tests {
             sum_gen_ns: 4_000_000_000,
             ready_ns: 4_000_000_000,
             drain_apps: vec![],
+            attempts: 0,
         };
         let lat = b.mean_latency_s(SimTime::from_secs_f64(5.0));
         assert!((lat - 3.0).abs() < 1e-9);

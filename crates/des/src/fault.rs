@@ -1,0 +1,121 @@
+//! Deterministic fault scheduling for robustness studies.
+//!
+//! A [`FaultSchedule`] turns a dedicated random stream into an alternating
+//! up/down renewal process: exponentially distributed time-to-failure
+//! (mean `mtbf_us`) followed by a recovery delay (mean `recovery_us`,
+//! optionally exponential). Because the draws come from the element's own
+//! [`StreamRng`], the fault event stream is a pure function of
+//! `(master seed, element id)` — adding faults to one element never
+//! perturbs another element's randomness, and replicated runs stay
+//! bit-identical at any worker-thread count.
+//!
+//! The companion [`crate::monitor::FaultMonitor`] records what the faults
+//! cost: crash count, samples lost, retries, and accumulated downtime.
+
+use crate::rng::StreamRng;
+use crate::time::SimDur;
+
+/// Deterministic generator of one element's failure/recovery event stream.
+#[derive(Clone, Debug)]
+pub struct FaultSchedule {
+    rng: StreamRng,
+    mtbf_us: f64,
+    recovery_us: f64,
+    jittered_recovery: bool,
+}
+
+impl FaultSchedule {
+    /// A schedule with exponential time-to-failure of mean `mtbf_us` and a
+    /// fixed recovery delay of `recovery_us` (both in microseconds).
+    ///
+    /// # Panics
+    /// Panics unless both means are positive.
+    pub fn new(rng: StreamRng, mtbf_us: f64, recovery_us: f64) -> Self {
+        assert!(mtbf_us > 0.0, "mean time between failures must be positive");
+        assert!(recovery_us > 0.0, "recovery delay must be positive");
+        FaultSchedule {
+            rng,
+            mtbf_us,
+            recovery_us,
+            jittered_recovery: false,
+        }
+    }
+
+    /// Draw recovery delays from an exponential of mean `recovery_us`
+    /// instead of using the fixed value.
+    pub fn with_jittered_recovery(mut self) -> Self {
+        self.jittered_recovery = true;
+        self
+    }
+
+    /// Exponential draw with the given mean.
+    fn exp_us(&mut self, mean_us: f64) -> f64 {
+        -mean_us * self.rng.next_f64_open().ln()
+    }
+
+    /// Time from now (or from the last recovery) until the next failure.
+    pub fn time_to_failure(&mut self) -> SimDur {
+        let us = self.exp_us(self.mtbf_us);
+        SimDur::from_micros_f64(us)
+    }
+
+    /// How long the element stays down once it has failed.
+    pub fn recovery_delay(&mut self) -> SimDur {
+        let us = if self.jittered_recovery {
+            self.exp_us(self.recovery_us)
+        } else {
+            self.recovery_us
+        };
+        SimDur::from_micros_f64(us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> StreamRng {
+        StreamRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_stream() {
+        let mut a = FaultSchedule::new(rng(7), 1_000_000.0, 50_000.0);
+        let mut b = FaultSchedule::new(rng(7), 1_000_000.0, 50_000.0);
+        for _ in 0..100 {
+            assert_eq!(a.time_to_failure(), b.time_to_failure());
+            assert_eq!(a.recovery_delay(), b.recovery_delay());
+        }
+    }
+
+    #[test]
+    fn mean_time_to_failure_matches_mtbf() {
+        let mut s = FaultSchedule::new(rng(11), 500_000.0, 1_000.0);
+        let n = 20_000;
+        let mean_us: f64 = (0..n)
+            .map(|_| s.time_to_failure().as_micros_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean_us - 500_000.0).abs() < 0.05 * 500_000.0,
+            "mean {mean_us}"
+        );
+    }
+
+    #[test]
+    fn fixed_recovery_is_exact_jittered_is_not() {
+        let mut fixed = FaultSchedule::new(rng(3), 1e6, 25_000.0);
+        assert_eq!(fixed.recovery_delay(), SimDur::from_micros_f64(25_000.0));
+        assert_eq!(fixed.recovery_delay(), SimDur::from_micros_f64(25_000.0));
+        let mut jit = FaultSchedule::new(rng(3), 1e6, 25_000.0).with_jittered_recovery();
+        let a = jit.recovery_delay();
+        let b = jit.recovery_delay();
+        assert_ne!(a, b, "jittered recovery must vary");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mtbf_rejected() {
+        FaultSchedule::new(rng(1), 0.0, 1.0);
+    }
+}

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod fcfs;
 pub mod monitor;
 pub mod rng;
@@ -49,8 +50,9 @@ pub mod rr;
 pub mod time;
 
 pub use engine::{Ctx, EventHandle, Model, Sim};
+pub use fault::FaultSchedule;
 pub use fcfs::{FcfsServer, Offer};
-pub use monitor::{BusyTime, Counter, Tally, TimeWeighted};
+pub use monitor::{BusyTime, Counter, FaultMonitor, Tally, TimeWeighted};
 pub use rng::{StreamRng, Streams};
 pub use rr::{RrCpuBank, SliceEnd, Submit};
 pub use time::{SimDur, SimTime};

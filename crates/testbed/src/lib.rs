@@ -27,6 +27,8 @@ pub mod kernels;
 pub mod pipes;
 
 pub use cputime::{self_check, CpuTimeSource, ThreadCpu};
-pub use harness::{run, Measurement, Policy, TestbedConfig};
+pub use harness::{run, DaemonFault, Measurement, Policy, TestbedConfig};
 pub use kernels::{BtLike, IsLike, Kernel, KernelKind};
-pub use pipes::{sample_pipe, BulkReader, SampleReader, SampleRecord, SampleWriter};
+pub use pipes::{
+    sample_pipe, BulkReader, SampleReader, SampleRecord, SampleWriter, TruncatedRecord,
+};

@@ -24,6 +24,31 @@ pub struct SampleRecord {
     pub value: u64,
 }
 
+/// A decode was attempted on fewer bytes than one wire record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TruncatedRecord {
+    /// Bytes available.
+    pub got: usize,
+}
+
+impl std::fmt::Display for TruncatedRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "truncated sample record: got {} of {RECORD_BYTES} bytes",
+            self.got
+        )
+    }
+}
+
+impl std::error::Error for TruncatedRecord {}
+
+impl From<TruncatedRecord> for io::Error {
+    fn from(e: TruncatedRecord) -> io::Error {
+        io::Error::new(io::ErrorKind::UnexpectedEof, e)
+    }
+}
+
 impl SampleRecord {
     /// Encode into the wire format (little-endian triple).
     pub fn encode(&self) -> [u8; RECORD_BYTES] {
@@ -36,11 +61,28 @@ impl SampleRecord {
 
     /// Decode from the wire format.
     pub fn decode(buf: &[u8; RECORD_BYTES]) -> SampleRecord {
+        let mut word = [0u8; 8];
+        let mut field = |range: std::ops::Range<usize>| {
+            word.copy_from_slice(&buf[range]);
+            u64::from_le_bytes(word)
+        };
         SampleRecord {
-            seq: u64::from_le_bytes(buf[0..8].try_into().expect("fixed slice")),
-            gen_ns: u64::from_le_bytes(buf[8..16].try_into().expect("fixed slice")),
-            value: u64::from_le_bytes(buf[16..24].try_into().expect("fixed slice")),
+            seq: field(0..8),
+            gen_ns: field(8..16),
+            value: field(16..24),
         }
+    }
+
+    /// Decode from an arbitrary byte slice, rejecting short input instead
+    /// of panicking — the safe entry point for parsers that may be handed
+    /// a truncated tail (partial read, killed writer).
+    pub fn try_decode(buf: &[u8]) -> Result<SampleRecord, TruncatedRecord> {
+        if buf.len() < RECORD_BYTES {
+            return Err(TruncatedRecord { got: buf.len() });
+        }
+        let mut fixed = [0u8; RECORD_BYTES];
+        fixed.copy_from_slice(&buf[..RECORD_BYTES]);
+        Ok(SampleRecord::decode(&fixed))
     }
 }
 
@@ -162,11 +204,7 @@ impl BulkReader {
                 Err(e) => return Err(e),
             }
         }
-        let rec = SampleRecord::decode(
-            self.buf[self.pos..self.pos + RECORD_BYTES]
-                .try_into()
-                .expect("fixed slice"),
-        );
+        let rec = SampleRecord::try_decode(&self.buf[self.pos..self.filled])?;
         self.pos += RECORD_BYTES;
         Ok(Some(rec))
     }
@@ -190,6 +228,57 @@ mod tests {
             value: u64::MAX,
         };
         assert_eq!(SampleRecord::decode(&r.encode()), r);
+    }
+
+    #[test]
+    fn try_decode_rejects_short_input() {
+        let rec = SampleRecord {
+            seq: 7,
+            gen_ns: 8,
+            value: 9,
+        };
+        let wire = rec.encode();
+        assert_eq!(SampleRecord::try_decode(&wire), Ok(rec));
+        // Extra trailing bytes are fine — only the first record is read.
+        let mut long = wire.to_vec();
+        long.extend_from_slice(&wire);
+        assert_eq!(SampleRecord::try_decode(&long), Ok(rec));
+        for cut in 0..RECORD_BYTES {
+            assert_eq!(
+                SampleRecord::try_decode(&wire[..cut]),
+                Err(TruncatedRecord { got: cut }),
+                "cut={cut}"
+            );
+        }
+        let io_err: io::Error = TruncatedRecord { got: 3 }.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_record_is_an_error_not_a_panic() {
+        // A writer killed mid-record leaves a partial record in the pipe;
+        // both readers must surface UnexpectedEof rather than panic.
+        let (w, mut r) = sample_pipe().unwrap();
+        let mut raw = w.w;
+        raw.write_all(&[0xAB; RECORD_BYTES - 5]).unwrap();
+        drop(raw);
+        let err = r.read_record().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        let (w, r) = sample_pipe().unwrap();
+        let mut raw = w.w;
+        let rec = SampleRecord {
+            seq: 1,
+            gen_ns: 2,
+            value: 3,
+        };
+        raw.write_all(&rec.encode()).unwrap();
+        raw.write_all(&[0xCD; 7]).unwrap();
+        drop(raw);
+        let mut br = BulkReader::new(r);
+        assert_eq!(br.next_record().unwrap(), Some(rec));
+        let err = br.next_record().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 
     #[test]

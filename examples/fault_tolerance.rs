@@ -1,0 +1,90 @@
+//! Graceful degradation under injected faults: the robustness cost of
+//! batching.
+//!
+//! Daemons crash (and recover) on a seeded exponential schedule, and each
+//! crash takes the daemon's unread pipe backlog and its in-memory batch
+//! with it. CF daemons forward every sample immediately, so a crash kills
+//! almost nothing in flight; a BF(64) daemon dies holding up to 63
+//! samples. This example runs the same faulty workload under both
+//! policies and three pipe overflow policies, and prints the loss
+//! breakdown the new fault metrics expose.
+
+use paradyn_core::{
+    run, Arch, DaemonCrashFaults, FaultPlan, LinkFaults, OverflowPolicy, SimConfig,
+};
+
+fn main() {
+    let faults = |overflow| FaultPlan {
+        overflow,
+        // A 1.2 s outage at 5 ms sampling backs ~240 samples up behind a
+        // 170-slot pipe, so the overflow policy actually has to act.
+        daemon_crash: Some(DaemonCrashFaults {
+            mtbf_us: 3_000_000.0,
+            recovery_us: 1_200_000.0,
+        }),
+        link: Some(LinkFaults {
+            fail_prob: 0.05,
+            max_retries: 3,
+            backoff_base_us: 5_000.0,
+        }),
+        stall: None,
+    };
+    let base = SimConfig {
+        arch: Arch::Now {
+            contention_free: true,
+        },
+        nodes: 8,
+        sampling_period_us: 5_000.0,
+        duration_s: 30.0,
+        ..Default::default()
+    };
+    println!(
+        "8-node NOW, 5 ms sampling, 30 s; daemon MTBF 3 s, recovery 1.2 s,\n\
+         5% link failures with 3 retries\n"
+    );
+    println!(
+        "{:<22} {:>10} {:>11} {:>10} {:>9} {:>11} {:>12}",
+        "policy", "deliver %", "lost/crash", "lost link", "crashes", "downtime s", "wr.block s"
+    );
+
+    let report = |label: &str, cfg: &SimConfig| {
+        let m = run(cfg);
+        let per_crash = if m.daemon_crashes > 0 {
+            m.lost_daemon_crash as f64 / m.daemon_crashes as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<22} {:>10.2} {:>11.1} {:>10} {:>9} {:>11.2} {:>12.3}",
+            label,
+            100.0 * m.received_samples as f64 / m.emitted_samples.max(1) as f64,
+            per_crash,
+            m.lost_link,
+            m.daemon_crashes,
+            m.daemon_downtime_s,
+            m.writer_block_time_s,
+        );
+    };
+
+    for (label, batch) in [("CF", 1usize), ("BF(64)", 64)] {
+        for (oname, ov) in [
+            ("block", OverflowPolicy::Block),
+            ("drop-new", OverflowPolicy::DropNewest),
+            ("drop-old", OverflowPolicy::DropOldest),
+        ] {
+            report(
+                &format!("{label} / {oname}"),
+                &SimConfig {
+                    batch,
+                    faults: faults(ov),
+                    ..base.clone()
+                },
+            );
+        }
+    }
+    println!(
+        "\nReading: BF loses far more samples per crash than CF — the batch dies with\n\
+         the daemon — while blocking pipes convert daemon downtime into writer-block\n\
+         time and lossy pipes convert it into overflow loss instead."
+    );
+}

@@ -11,4 +11,10 @@ cargo build --release --offline
 echo "== cargo test -q --offline =="
 cargo test -q --offline
 
+echo "== fault-injection suite =="
+cargo test -q --offline --test fault_injection
+
+echo "== fault-sweep smoke (repro faults, quick scale) =="
+cargo run --release --offline -p paradyn-bench --bin repro -- --scale quick faults
+
 echo "verify: OK"

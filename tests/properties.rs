@@ -3,7 +3,7 @@
 //! (hermetic build: no proptest). Rerun a reported failure with
 //! `PARADYN_PROP_SEED=<seed> cargo test <property name>`.
 
-use paradyn_core::pipe::{Deposit, Pipe};
+use paradyn_core::pipe::{Deposit, OverflowPolicy, Pipe};
 use paradyn_des::{FcfsServer, Offer, RrCpuBank, SimDur, SimTime, Submit, Tally};
 use paradyn_stats::{check, Design2kr, Rv, SplitMix64};
 use paradyn_stats::{prop_assert, prop_assert_eq, prop_assume};
@@ -111,6 +111,7 @@ fn pipe_never_overflows() {
                     match p.deposit(t) {
                         Deposit::Accepted => admitted += 1,
                         Deposit::WouldBlock => parked = true,
+                        other => prop_assert!(false, "Block pipe returned {other:?}"),
                     }
                 }
             } else if p.occupied() > 0 && p.drain().is_some() {
@@ -121,6 +122,47 @@ fn pipe_never_overflows() {
             prop_assert_eq!(p.writer_blocked(), parked);
         }
         prop_assert!(admitted as usize >= p.occupied());
+        Ok(())
+    });
+}
+
+/// Every overflow policy conserves samples: accepted deposit attempts
+/// equal drains + losses + occupancy + the parked sample, at every step of
+/// an arbitrary operation sequence.
+#[test]
+fn pipe_conserves_samples_under_every_policy() {
+    check("pipe_conserves_samples_under_every_policy", |g| {
+        let policies = [
+            OverflowPolicy::Block,
+            OverflowPolicy::DropNewest,
+            OverflowPolicy::DropOldest,
+        ];
+        let policy = *g.choice(&policies);
+        let capacity = g.usize_in(1, 16);
+        let ops = g.vec_bool(1, 300);
+        let mut p = Pipe::with_policy(capacity, policy);
+        let mut generated = 0u64;
+        let mut delivered = 0u64;
+        for (i, op) in ops.into_iter().enumerate() {
+            let t = SimTime::from_nanos(i as u64 + 1);
+            if op {
+                match p.deposit(t) {
+                    // A rejected double-deposit never entered the pipe.
+                    Deposit::AlreadyBlocked => {}
+                    _ => generated += 1,
+                }
+            } else if p.occupied() > 0 {
+                p.drain();
+                delivered += 1;
+            }
+            let in_flight = p.occupied() as u64 + u64::from(p.writer_blocked());
+            prop_assert_eq!(generated, delivered + p.lost() + in_flight);
+            prop_assert!(p.occupied() <= capacity);
+            if policy != OverflowPolicy::Block {
+                prop_assert!(!p.writer_blocked(), "lossy policy blocked the writer");
+                prop_assert_eq!(p.blocked_deposits(), 0);
+            }
+        }
         Ok(())
     });
 }
