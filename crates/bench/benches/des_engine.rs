@@ -1,8 +1,19 @@
 //! Kernel benchmarks: raw event-calendar throughput (DESIGN.md ablations
-//! 1–2: integer time + typed events).
+//! 1–2: integer time + typed events), run against **both** calendar
+//! backends — the O(1) timing wheel and the legacy binary heap — plus a
+//! full-model 50-node NOW contention-free sweep.
+//!
+//! Besides the human-readable table, the run emits a machine-readable
+//! `BENCH_des.json` (path overridable via `PARADYN_BENCH_JSON`) with
+//! events/sec, ns/event, and calendar occupancy per case, and the
+//! wheel-over-heap speedup per workload. `PARADYN_BENCH_SMOKE=1` shrinks
+//! the workloads so `scripts/verify.sh` can exercise the bench + JSON
+//! pipeline in seconds.
 
-use paradyn_bench::timing::Group;
-use paradyn_des::{Ctx, Model, Sim, SimDur, SimTime};
+use paradyn_bench::json::Json;
+use paradyn_bench::timing::{Group, Stats};
+use paradyn_core::{build_with_calendar, Arch, SimConfig};
+use paradyn_des::{CalendarKind, CalendarStats, Ctx, Model, Sim, SimDur, SimTime};
 
 /// Self-rescheduling single event: pure calendar overhead.
 struct Chain {
@@ -19,7 +30,7 @@ impl Model for Chain {
     }
 }
 
-/// K interleaved timers: deeper heap.
+/// K interleaved timers: deeper calendar population.
 struct Timers {
     remaining: u64,
 }
@@ -29,37 +40,89 @@ impl Model for Timers {
     fn handle(&mut self, ctx: &mut Ctx<u32>, id: u32) {
         if self.remaining > 0 {
             self.remaining -= 1;
-            // Deterministic pseudo-random gap keeps the heap shuffled.
+            // Deterministic pseudo-random gap keeps the calendar shuffled.
             let gap = 50 + (id as u64).wrapping_mul(2654435761) % 1000;
             ctx.schedule_in(SimDur::from_nanos(gap), id);
         }
     }
 }
 
+fn kind_name(kind: CalendarKind) -> &'static str {
+    match kind {
+        CalendarKind::Wheel => "wheel",
+        CalendarKind::Heap => "heap",
+    }
+}
+
+fn occupancy_json(s: CalendarStats) -> Json {
+    Json::Obj(vec![
+        ("live".into(), Json::num(s.live as f64)),
+        ("occupied_buckets".into(), Json::num(s.occupied_buckets as f64)),
+        ("slab_slots".into(), Json::num(s.slab_slots as f64)),
+    ])
+}
+
+/// One measured case: records the JSON row and returns it for the
+/// speedup computation.
+fn record(
+    results: &mut Vec<Json>,
+    name: &str,
+    kind: CalendarKind,
+    events: u64,
+    stats: Stats,
+    occupancy: CalendarStats,
+) {
+    let ns_per_event = stats.median_ns as f64 / events.max(1) as f64;
+    let events_per_sec = if stats.median_ns > 0 {
+        events as f64 / (stats.median_ns as f64 * 1e-9)
+    } else {
+        f64::NAN
+    };
+    results.push(Json::Obj(vec![
+        ("name".into(), Json::str(name)),
+        ("calendar".into(), Json::str(kind_name(kind))),
+        ("events".into(), Json::num(events as f64)),
+        ("median_ns".into(), Json::num(stats.median_ns as f64)),
+        ("p95_ns".into(), Json::num(stats.p95_ns as f64)),
+        ("min_ns".into(), Json::num(stats.min_ns as f64)),
+        ("ns_per_event".into(), Json::num(ns_per_event)),
+        ("events_per_sec".into(), Json::num(events_per_sec)),
+        ("occupancy".into(), occupancy_json(occupancy)),
+    ]));
+}
+
+fn median_of(results: &[Json], name: &str, kind: &str) -> Option<f64> {
+    results.iter().find_map(|r| {
+        (r.get("name")?.as_str()? == name && r.get("calendar")?.as_str()? == kind)
+            .then(|| r.get("median_ns")?.as_num())?
+    })
+}
+
 fn main() {
+    let smoke = std::env::var("PARADYN_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let n: u64 = if smoke { 2_000 } else { 100_000 };
+    let model_dur_s = if smoke { 0.02 } else { 1.0 };
+
     let mut g = Group::new("des_engine");
-    const N: u64 = 100_000;
-    g.throughput(N);
-    g.bench_with_setup(
-        "event_chain_100k",
-        || {
-            let mut sim = Sim::new(Chain { remaining: N });
+    let mut results: Vec<Json> = vec![];
+    let mut case_names: Vec<String> = vec![];
+
+    for kind in [CalendarKind::Heap, CalendarKind::Wheel] {
+        let k_name = kind_name(kind);
+
+        // Pure calendar overhead: one self-rescheduling event.
+        let case = format!("event_chain_{n}");
+        g.throughput(n);
+        let occ = {
+            let mut sim = Sim::with_calendar(Chain { remaining: n }, kind);
             sim.ctx().schedule_at(SimTime::ZERO, ());
-            sim
-        },
-        |mut sim| {
-            sim.run_until(SimTime::MAX);
-            sim.executed_events()
-        },
-    );
-    for k in [64u32, 1024] {
-        g.bench_with_setup(
-            &format!("timers_{k}_100k"),
+            sim.ctx().calendar_stats()
+        };
+        let stats = g.bench_with_setup(
+            &format!("{case}/{k_name}"),
             || {
-                let mut sim = Sim::new(Timers { remaining: N });
-                for id in 0..k {
-                    sim.ctx().schedule_at(SimTime::from_nanos(id as u64), id);
-                }
+                let mut sim = Sim::with_calendar(Chain { remaining: n }, kind);
+                sim.ctx().schedule_at(SimTime::ZERO, ());
                 sim
             },
             |mut sim| {
@@ -67,5 +130,99 @@ fn main() {
                 sim.executed_events()
             },
         );
+        record(&mut results, &case, kind, n, stats, occ);
+        if kind == CalendarKind::Heap {
+            case_names.push(case);
+        }
+
+        // K interleaved timers: a deeper, shuffled calendar.
+        for k in [64u32, 1024] {
+            let case = format!("timers_{k}_{n}");
+            g.throughput(n);
+            let occ = {
+                let mut sim = Sim::with_calendar(Timers { remaining: n }, kind);
+                for id in 0..k {
+                    sim.ctx().schedule_at(SimTime::from_nanos(id as u64), id);
+                }
+                sim.ctx().calendar_stats()
+            };
+            let stats = g.bench_with_setup(
+                &format!("{case}/{k_name}"),
+                || {
+                    let mut sim = Sim::with_calendar(Timers { remaining: n }, kind);
+                    for id in 0..k {
+                        sim.ctx().schedule_at(SimTime::from_nanos(id as u64), id);
+                    }
+                    sim
+                },
+                |mut sim| {
+                    sim.run_until(SimTime::MAX);
+                    sim.executed_events()
+                },
+            );
+            record(&mut results, &case, kind, n, stats, occ);
+            if kind == CalendarKind::Heap {
+                case_names.push(case);
+            }
+        }
+
+        // Full ROCC model: the paper's 50-node NOW contention-free sweep.
+        // Model logic (RNG draws, resource state machines) shares the bill
+        // with the calendar here, so the speedup is smaller than on the
+        // kernel microbenches; both numbers land in the JSON.
+        let case = "now_cf_50n".to_string();
+        let cfg = SimConfig {
+            arch: Arch::Now { contention_free: true },
+            nodes: 50,
+            duration_s: model_dur_s,
+            ..Default::default()
+        };
+        let horizon = SimTime::from_secs_f64(cfg.duration_s);
+        let (model_events, occ) = {
+            let mut sim = build_with_calendar(&cfg, kind);
+            let occ = sim.ctx().calendar_stats();
+            sim.run_until(horizon);
+            (sim.executed_events(), occ)
+        };
+        g.throughput(model_events);
+        let stats = g.bench_with_setup(
+            &format!("{case}/{k_name}"),
+            || build_with_calendar(&cfg, kind),
+            |mut sim| {
+                sim.run_until(horizon);
+                sim.executed_events()
+            },
+        );
+        record(&mut results, &case, kind, model_events, stats, occ);
+        if kind == CalendarKind::Heap {
+            case_names.push(case);
+        }
     }
+
+    let mut speedups: Vec<Json> = vec![];
+    for case in &case_names {
+        if let (Some(h), Some(w)) = (
+            median_of(&results, case, "heap"),
+            median_of(&results, case, "wheel"),
+        ) {
+            let ratio = if w > 0.0 { h / w } else { f64::NAN };
+            println!("speedup {case:<24} wheel over heap: {ratio:.2}x");
+            speedups.push(Json::Obj(vec![
+                ("name".into(), Json::str(case.clone())),
+                ("wheel_over_heap".into(), Json::num(ratio)),
+            ]));
+        }
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::str("paradyn.bench.des.v1")),
+        ("group".into(), Json::str("des_engine")),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("results".into(), Json::Arr(results)),
+        ("speedups".into(), Json::Arr(speedups)),
+    ]);
+    let path =
+        std::env::var("PARADYN_BENCH_JSON").unwrap_or_else(|_| "BENCH_des.json".to_string());
+    std::fs::write(&path, doc.pretty()).expect("write BENCH_des.json");
+    println!("wrote {path}");
 }

@@ -1,0 +1,92 @@
+//! Validate a `BENCH_des.json` emitted by the `des_engine` bench against
+//! the `paradyn.bench.des.v1` schema. Exits nonzero (with a reason on
+//! stderr) on any violation, so `scripts/verify.sh` can gate on it.
+
+use paradyn_bench::json::Json;
+
+fn fail(msg: String) -> ! {
+    eprintln!("check_bench_json: {msg}");
+    std::process::exit(1);
+}
+
+fn require_num(obj: &Json, key: &str, ctx: &str) -> f64 {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| fail(format!("{ctx}: missing or non-numeric `{key}`")))
+}
+
+fn require_str<'a>(obj: &'a Json, key: &str, ctx: &str) -> &'a str {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail(format!("{ctx}: missing or non-string `{key}`")))
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_des.json".to_string());
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let doc = Json::parse(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+
+    if require_str(&doc, "schema", &path) != "paradyn.bench.des.v1" {
+        fail(format!("{path}: unknown schema"));
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail(format!("{path}: missing `results` array")));
+    if results.is_empty() {
+        fail(format!("{path}: empty `results`"));
+    }
+    let mut names = vec![];
+    for (i, r) in results.iter().enumerate() {
+        let ctx = format!("{path} results[{i}]");
+        let name = require_str(r, "name", &ctx).to_string();
+        let cal = require_str(r, "calendar", &ctx);
+        if cal != "heap" && cal != "wheel" {
+            fail(format!("{ctx}: calendar must be heap|wheel, got `{cal}`"));
+        }
+        for key in ["events", "median_ns", "p95_ns", "min_ns"] {
+            let v = require_num(r, key, &ctx);
+            if !(v >= 0.0) {
+                fail(format!("{ctx}: `{key}` must be >= 0"));
+            }
+        }
+        let eps = require_num(r, "events_per_sec", &ctx);
+        if !(eps > 0.0) {
+            fail(format!("{ctx}: `events_per_sec` must be > 0"));
+        }
+        let npe = require_num(r, "ns_per_event", &ctx);
+        if !(npe > 0.0) {
+            fail(format!("{ctx}: `ns_per_event` must be > 0"));
+        }
+        let occ = r
+            .get("occupancy")
+            .unwrap_or_else(|| fail(format!("{ctx}: missing `occupancy`")));
+        for key in ["live", "occupied_buckets", "slab_slots"] {
+            require_num(occ, key, &format!("{ctx} occupancy"));
+        }
+        names.push(name);
+    }
+    let speedups = doc
+        .get("speedups")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail(format!("{path}: missing `speedups` array")));
+    for (i, s) in speedups.iter().enumerate() {
+        let ctx = format!("{path} speedups[{i}]");
+        let name = require_str(s, "name", &ctx);
+        if !names.iter().any(|n| n == name) {
+            fail(format!("{ctx}: speedup for unknown case `{name}`"));
+        }
+        let ratio = require_num(s, "wheel_over_heap", &ctx);
+        if !(ratio > 0.0) {
+            fail(format!("{ctx}: `wheel_over_heap` must be > 0"));
+        }
+    }
+    println!(
+        "check_bench_json: {path} ok ({} results, {} speedups)",
+        results.len(),
+        speedups.len()
+    );
+}

@@ -13,6 +13,7 @@ pub mod analytic_figs;
 pub mod fault_figs;
 pub mod fig8;
 pub mod fmt;
+pub mod json;
 pub mod mpp_figs;
 pub mod now_figs;
 pub mod scale;

@@ -47,6 +47,6 @@ pub use experiment::{
     Replicated,
 };
 pub use metrics::SimMetrics;
-pub use model::{build, RoccModel};
+pub use model::{build, build_with_calendar, RoccModel};
 pub use pipe::{Deposit, OverflowPolicy, Pipe};
 pub use validate::{validate, validation_config, ValidationResult, TABLE3};

@@ -148,7 +148,7 @@ impl RoccModel {
         let drain_apps = std::mem::take(
             &mut self
                 .tokens
-                .get_mut(&token)
+                .get_mut(token)
                 .expect("collect token live")
                 .drain_apps,
         );
@@ -161,7 +161,7 @@ impl RoccModel {
             // pipe slots were still freed above — the samples are gone,
             // not stuck.
             self.daemons[pd as usize].doomed = false;
-            let batch = self.tokens.remove(&token).expect("collect token live");
+            let batch = self.tokens.remove(token).expect("collect token live");
             self.acc.lost_crash += batch.count as u64;
             self.daemons[pd as usize]
                 .fault_mon
@@ -173,7 +173,7 @@ impl RoccModel {
         }
         let count = {
             let d = &mut self.daemons[pd as usize];
-            let count = self.tokens[&token].count;
+            let count = self.tokens.get(token).expect("collect token live").count;
             d.forwarded_batches += 1;
             d.forwarded_samples += count as u64;
             count
@@ -202,12 +202,12 @@ impl RoccModel {
             let failed = self.daemons[pd as usize].link_rng.next_f64() < link.fail_prob;
             if failed {
                 let attempts = {
-                    let b = self.tokens.get_mut(&token).expect("forward token live");
+                    let b = self.tokens.get_mut(token).expect("forward token live");
                     b.attempts += 1;
                     b.attempts
                 };
                 if attempts > link.max_retries {
-                    let batch = self.tokens.remove(&token).expect("forward token live");
+                    let batch = self.tokens.remove(token).expect("forward token live");
                     self.acc.lost_link += batch.count as u64;
                     self.daemons[pd as usize]
                         .fault_mon
@@ -229,7 +229,7 @@ impl RoccModel {
             }
             // Hop succeeded: the retry budget is per hop.
             self.tokens
-                .get_mut(&token)
+                .get_mut(token)
                 .expect("forward token live")
                 .attempts = 0;
         }

@@ -29,8 +29,8 @@ use paradyn_des::{
     StreamRng, Streams, Submit,
 };
 use paradyn_workload::ProcessClass;
-use std::collections::{HashMap, VecDeque};
-use types::{class_idx, AppId, Batch, CpuJob, CpuKind, Dest, Ev, NetJob, PdId, Token};
+use std::collections::VecDeque;
+use types::{class_idx, AppId, Batch, CpuJob, CpuKind, Dest, Ev, NetJob, PdId, Token, TokenSlab};
 
 /// Stream-id kinds for reproducible per-element randomness.
 mod stream_kind {
@@ -182,8 +182,7 @@ pub struct RoccModel {
     pub(crate) shared_net: Option<FcfsServer<NetJob>>,
     pub(crate) apps: Vec<AppProc>,
     pub(crate) daemons: Vec<Daemon>,
-    pub(crate) tokens: HashMap<Token, Batch>,
-    pub(crate) next_token: Token,
+    pub(crate) tokens: TokenSlab,
     pub(crate) barrier_waiting: Vec<AppId>,
     pub(crate) main_rng: StreamRng,
     pub(crate) pvmd_rngs: Vec<StreamRng>,
@@ -249,6 +248,11 @@ impl RoccModel {
                 }
             })
             .collect();
+        // Pre-size hot-path buffers so the steady state allocates nothing:
+        // a daemon's FIFO is bounded by its apps' combined pipe capacity
+        // (each buffered sample holds a pipe slot).
+        let apps_per_pd = total_apps.div_ceil(total_pds);
+        let fifo_cap = apps_per_pd * cfg.params.pipe_capacity;
         let daemons = (0..total_pds as u32)
             .map(|pd| Daemon {
                 node: match cfg.arch {
@@ -258,7 +262,7 @@ impl RoccModel {
                 cpu_rng: streams.stream3(stream_kind::PD_CPU, pd as u64, 0),
                 net_rng: streams.stream3(stream_kind::PD_NET, pd as u64, 0),
                 merge_rng: streams.stream3(stream_kind::PD_MERGE, pd as u64, 0),
-                fifo: VecDeque::new(),
+                fifo: VecDeque::with_capacity(fifo_cap),
                 collecting: false,
                 batch: match &cfg.adaptive {
                     Some(a) => cfg.batch.clamp(a.min_batch, a.max_batch),
@@ -307,9 +311,10 @@ impl RoccModel {
             shared_net,
             apps,
             daemons,
-            tokens: HashMap::new(),
-            next_token: 0,
-            barrier_waiting: vec![],
+            // Each daemon has at most one collecting batch plus a few
+            // in-flight hops; 4 per daemon covers the steady state.
+            tokens: TokenSlab::with_capacity(total_pds * 4),
+            barrier_waiting: Vec::with_capacity(total_apps),
             acc: Acc::default(),
         }
     }
@@ -364,12 +369,9 @@ impl RoccModel {
         }
     }
 
-    /// Allocate a batch token.
+    /// Allocate a batch token (a recycled dense slab index).
     pub(crate) fn alloc_token(&mut self, batch: Batch) -> Token {
-        let t = self.next_token;
-        self.next_token = self.next_token.wrapping_add(1);
-        self.tokens.insert(t, batch);
-        t
+        self.tokens.insert(batch)
     }
 
     /// A CPU request finished; run its continuation.
@@ -404,7 +406,7 @@ impl RoccModel {
     /// when that processing completes — the sample has then truly reached
     /// the "logically central collection facility".
     fn main_receive(&mut self, ctx: &mut Ctx<Ev>, token: Token) {
-        let count = self.tokens[&token].count;
+        let count = self.tokens.get(token).expect("received token must be live").count;
         let p = &self.cfg.params;
         let demand = p.main_cpu_per_msg.sample(&mut self.main_rng)
             + p.main_cpu_per_extra_sample_us * (count as f64 - 1.0);
@@ -423,7 +425,7 @@ impl RoccModel {
     fn main_recv_done(&mut self, ctx: &mut Ctx<Ev>, token: Token) {
         let batch = self
             .tokens
-            .remove(&token)
+            .remove(token)
             .expect("consumed token must be live");
         self.acc.latency_sum_s += batch.mean_latency_s(ctx.now()) * batch.count as f64;
         self.acc.fwd_latency_sum_s += batch.forwarding_latency_s(ctx.now());
@@ -659,7 +661,13 @@ impl RoccModel {
 
 /// Build a ready-to-run simulation: the model plus its `Init` event.
 pub fn build(cfg: &SimConfig) -> Sim<RoccModel> {
-    let mut sim = Sim::new(RoccModel::new(cfg.clone()));
+    build_with_calendar(cfg, paradyn_des::CalendarKind::default_from_env())
+}
+
+/// [`build`] with an explicit event-calendar backend (used by the benches
+/// to compare the timing wheel against the legacy heap on the full model).
+pub fn build_with_calendar(cfg: &SimConfig, kind: paradyn_des::CalendarKind) -> Sim<RoccModel> {
+    let mut sim = Sim::with_calendar(RoccModel::new(cfg.clone()), kind);
     sim.ctx().schedule_at(SimTime::ZERO, Ev::Init);
     sim
 }

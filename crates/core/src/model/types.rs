@@ -9,8 +9,87 @@ pub type AppId = u32;
 /// Daemon index.
 pub type PdId = u32;
 
-/// Token identifying an in-flight batch of samples.
+/// Token identifying an in-flight batch of samples: a dense index into the
+/// model's [`TokenSlab`], recycled when the batch is consumed or dropped.
 pub type Token = u32;
+
+/// Dense arena of in-flight batches, replacing the per-event `HashMap`
+/// lookups on the hot path with direct `Vec` indexing. Freed tokens are
+/// recycled LIFO, so the slab's size is bounded by the peak number of
+/// concurrently in-flight batches (a small multiple of the daemon count)
+/// and allocation stops once the simulation reaches steady state.
+#[derive(Default)]
+pub struct TokenSlab {
+    slots: Vec<Option<Batch>>,
+    free: Vec<Token>,
+    live: usize,
+}
+
+impl TokenSlab {
+    /// Pre-size for an expected number of concurrent batches.
+    pub fn with_capacity(cap: usize) -> TokenSlab {
+        TokenSlab {
+            slots: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            live: 0,
+        }
+    }
+
+    /// Store a batch, returning its token.
+    pub fn insert(&mut self, batch: Batch) -> Token {
+        self.live += 1;
+        match self.free.pop() {
+            Some(t) => {
+                debug_assert!(self.slots[t as usize].is_none());
+                self.slots[t as usize] = Some(batch);
+                t
+            }
+            None => {
+                self.slots.push(Some(batch));
+                (self.slots.len() - 1) as Token
+            }
+        }
+    }
+
+    /// Shared access to a live batch (`None` if the token was consumed).
+    #[inline]
+    pub fn get(&self, t: Token) -> Option<&Batch> {
+        self.slots.get(t as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to a live batch.
+    #[inline]
+    pub fn get_mut(&mut self, t: Token) -> Option<&mut Batch> {
+        self.slots.get_mut(t as usize).and_then(Option::as_mut)
+    }
+
+    /// Remove and return a live batch, recycling its token.
+    pub fn remove(&mut self, t: Token) -> Option<Batch> {
+        let b = self.slots.get_mut(t as usize).and_then(Option::take);
+        if b.is_some() {
+            self.live -= 1;
+            self.free.push(t);
+        }
+        b
+    }
+
+    /// Number of live batches.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no batches are in flight.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterate over live batches (slab order, deterministic).
+    pub fn values(&self) -> impl Iterator<Item = &Batch> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+}
 
 /// A CPU occupancy request queued at a node's CPU bank.
 #[derive(Clone, Copy, Debug)]
@@ -238,6 +317,38 @@ pub fn tree_parent(i: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn batch(count: u32) -> Batch {
+        Batch {
+            count,
+            sum_gen_ns: 0,
+            ready_ns: 0,
+            drain_apps: vec![],
+            attempts: 0,
+        }
+    }
+
+    #[test]
+    fn token_slab_recycles_and_stays_dense() {
+        let mut slab = TokenSlab::with_capacity(2);
+        let a = slab.insert(batch(1));
+        let b = slab.insert(batch(2));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a).unwrap().count, 1);
+        assert_eq!(slab.remove(a).unwrap().count, 1);
+        assert!(slab.remove(a).is_none(), "double remove is a no-op");
+        // The freed token is reused; the slab does not grow.
+        let c = slab.insert(batch(3));
+        assert_eq!(c, a);
+        slab.get_mut(b).unwrap().attempts = 7;
+        assert_eq!(slab.get(b).unwrap().attempts, 7);
+        let counts: Vec<u32> = slab.values().map(|x| x.count).collect();
+        assert_eq!(counts, vec![3, 2]);
+        assert!(!slab.is_empty());
+        slab.remove(b);
+        slab.remove(c);
+        assert!(slab.is_empty());
+    }
 
     #[test]
     fn tree_parent_heap_layout() {

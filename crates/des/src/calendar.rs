@@ -1,0 +1,960 @@
+//! Event calendars: the hierarchical timing wheel (default) and the legacy
+//! binary-heap fallback, behind one interface with generation-stamped O(1)
+//! cancellation.
+//!
+//! ## Why a wheel
+//!
+//! The original calendar was a `BinaryHeap` ordered by `(time, seq)` with a
+//! `HashSet<u64>` of cancelled sequence numbers probed on every pop: O(log n)
+//! per operation, a hash probe per pop, and unbounded growth of the cancelled
+//! set when handles were cancelled after firing. The wheel replaces all three
+//! costs: amortized O(1) enqueue/dequeue keyed on the integer-nanosecond
+//! clock, and cancellation through a slot slab whose generation stamps make
+//! stale handles (fired or already-cancelled) exact no-ops with no residue.
+//!
+//! ## Wheel geometry (see DESIGN.md §5.7)
+//!
+//! * [`LEVELS`] levels of [`SLOTS`] = 2^[`LEVEL_BITS`] buckets each; the
+//!   level-0 bucket spans exactly **1 ns**, level *l* spans 64^*l* ns.
+//!   11 levels × 6 bits = 66 bits, covering the full `u64` clock.
+//! * An event at absolute time `t` lives at the level of the highest bit in
+//!   which `t` differs from the wheel cursor (the time of the last delivered
+//!   event), in bucket `(t >> 6·l) & 63`. Every bucket therefore sits inside
+//!   the cursor's parent bucket at the level above — no ring wraparound.
+//! * A one-word occupancy bitmap per level makes "earliest non-empty bucket"
+//!   a `trailing_zeros` instruction.
+//!
+//! ## Determinism argument
+//!
+//! Events must fire in `(time, seq)` order with ties in schedule order, bit
+//! for bit identical to the heap. The wheel guarantees this structurally:
+//!
+//! 1. the earliest candidate bucket is chosen by *bucket base time*, and on a
+//!    base-time tie a higher level is promoted (cascaded) before a level-0
+//!    bucket is delivered, so no event can hide above a bucket being drained;
+//! 2. a level-0 bucket holds exactly one timestamp (1 ns wide), and is
+//!    **sorted by `seq`** when staged for delivery, so tie order never
+//!    depends on cascade history;
+//! 3. `seq` is globally monotone, so events scheduled *after* a bucket is
+//!    staged (necessarily with larger `seq`) are appended behind it.
+//!
+//! The differential property test (`tests/calendar_diff.rs`) drives random
+//! schedule/cancel/run sequences through both backends and asserts identical
+//! `(time, event)` traces.
+
+use crate::time::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Bits per wheel level (64 buckets per level).
+pub const LEVEL_BITS: u32 = 6;
+/// Buckets per wheel level.
+pub const SLOTS: usize = 1 << LEVEL_BITS;
+/// Wheel levels; `LEVELS * LEVEL_BITS >= 64` covers the whole clock.
+pub const LEVELS: usize = 11;
+
+/// Handle to a scheduled event, usable for cancellation.
+///
+/// Internally a `(slab index, generation)` pair: the slab slot is recycled
+/// after the event fires (or its cancellation is collected), bumping the
+/// generation, so cancelling a stale handle is a detectable no-op.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle {
+    idx: u32,
+    gen: u32,
+}
+
+/// Which calendar implementation a [`crate::Sim`] uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CalendarKind {
+    /// Hierarchical timing wheel: amortized O(1) schedule/pop/cancel.
+    /// The default.
+    Wheel,
+    /// The legacy binary heap: O(log n) schedule/pop (kept as a fallback
+    /// and as the differential-testing oracle).
+    Heap,
+}
+
+impl CalendarKind {
+    /// The default kind, overridable with `PARADYN_CALENDAR=heap|wheel`
+    /// (useful for A/B benchmarking without code changes).
+    pub fn default_from_env() -> CalendarKind {
+        match std::env::var("PARADYN_CALENDAR").as_deref() {
+            Ok("heap") => CalendarKind::Heap,
+            _ => CalendarKind::Wheel,
+        }
+    }
+}
+
+/// Point-in-time occupancy/health counters of a calendar (also emitted into
+/// `BENCH_des.json` by the kernel benches).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CalendarStats {
+    /// Live (schedulable, not cancelled) pending events.
+    pub live: usize,
+    /// Cancelled entries still physically present awaiting lazy collection.
+    /// Bounded by the number of cancels whose slot the cursor has not yet
+    /// passed — never grows across fired events.
+    pub cancelled_pending: usize,
+    /// Total slab slots ever allocated (high-water mark of concurrency).
+    pub slab_slots: usize,
+    /// Slab slots currently free for reuse.
+    pub slab_free: usize,
+    /// Non-empty wheel buckets (0 for the heap backend).
+    pub occupied_buckets: usize,
+}
+
+// Slab slot lifecycle, packed with the generation into one u32 word
+// (`gen << 2 | state`): cancel is a single compare-and-store, and the whole
+// slab for a few hundred pending events fits in a handful of cache lines.
+// `VACANT` slots are on the free list. The generation wraps in 30 bits; a
+// handle only collides after one slot is reused 2^30 times while the stale
+// handle is still held.
+const STATE_MASK: u32 = 0b11;
+const VACANT: u32 = 0;
+const LIVE: u32 = 1;
+const CANCELLED: u32 = 2;
+
+/// Generation-stamped slot arena: one slot per pending event. O(1) alloc,
+/// cancel, and release; size bounded by peak concurrent pending events.
+struct Slab {
+    slots: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl Slab {
+    fn new() -> Slab {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn alloc(&mut self) -> EventHandle {
+        match self.free.pop() {
+            Some(idx) => {
+                let w = &mut self.slots[idx as usize];
+                debug_assert_eq!(*w & STATE_MASK, VACANT);
+                *w |= LIVE;
+                EventHandle { idx, gen: *w >> 2 }
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(LIVE);
+                EventHandle { idx, gen: 0 }
+            }
+        }
+    }
+
+    /// Mark a live, current-generation slot cancelled. Returns whether the
+    /// cancel took effect (stale handles: `false`, and nothing is stored).
+    #[inline]
+    fn cancel(&mut self, h: EventHandle) -> bool {
+        match self.slots.get_mut(h.idx as usize) {
+            Some(w) if *w == (h.gen << 2) | LIVE => {
+                *w = (h.gen << 2) | CANCELLED;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    #[inline]
+    fn is_cancelled(&self, idx: u32) -> bool {
+        self.slots[idx as usize] & STATE_MASK == CANCELLED
+    }
+
+    /// Free a slot whose entry left the calendar (fired or collected),
+    /// bumping the generation so outstanding handles go stale.
+    #[inline]
+    fn release(&mut self, idx: u32) {
+        let w = &mut self.slots[idx as usize];
+        debug_assert_ne!(*w & STATE_MASK, VACANT);
+        *w = (*w >> 2).wrapping_add(1) << 2;
+        self.free.push(idx);
+    }
+
+    fn cancelled_pending(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|w| *w & STATE_MASK == CANCELLED)
+            .count()
+    }
+}
+
+/// A pending event as stored by either backend.
+struct Entry<E> {
+    at: u64,
+    seq: u64,
+    slot: u32,
+    ev: E,
+}
+
+// Heap ordering: earliest (time, seq) first under `Reverse`.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The hierarchical timing wheel.
+struct Wheel<E> {
+    /// Time of the last delivered event (placement reference point).
+    cursor: u64,
+    /// Per-level bucket-occupancy bitmaps.
+    occupied: [u64; LEVELS],
+    /// Which levels have a non-zero `occupied` bitmap: the candidate scan
+    /// only visits set bits instead of all [`LEVELS`] levels.
+    level_summary: u16,
+    /// `LEVELS * SLOTS` flat bucket array; buckets keep their capacity
+    /// across drains, so the steady-state hot path allocates nothing.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Staged level-0 bucket: entries sharing one timestamp, sorted by
+    /// `seq`, delivered from the front.
+    due: VecDeque<Entry<E>>,
+    /// Timestamp of the staged entries (meaningful iff `due` is non-empty).
+    due_time: u64,
+    /// Set when an event *earlier* than `due_time` was placed into the
+    /// wheel while `due` was staged (only possible after a horizon stop).
+    /// While clear, the staged front is provably the global minimum and
+    /// pops skip the candidate scan entirely.
+    due_dirty: bool,
+}
+
+#[inline]
+fn level_width(level: usize) -> u64 {
+    1u64 << (LEVEL_BITS * level as u32)
+}
+
+#[inline]
+fn bucket_index(at: u64, level: usize) -> usize {
+    ((at >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize
+}
+
+/// Level of the highest bit in which `at` differs from `cursor` (0 when
+/// equal): the unique level whose bucket for `at` lies inside the cursor's
+/// parent bucket.
+#[inline]
+fn level_for(at: u64, cursor: u64) -> usize {
+    let x = at ^ cursor;
+    if x == 0 {
+        0
+    } else {
+        (63 - x.leading_zeros()) as usize / LEVEL_BITS as usize
+    }
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Wheel<E> {
+        Wheel {
+            cursor: 0,
+            occupied: [0; LEVELS],
+            level_summary: 0,
+            buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            due: VecDeque::new(),
+            due_time: 0,
+            due_dirty: false,
+        }
+    }
+
+    /// Absolute start time of bucket `i` at `level`, relative to the
+    /// cursor's parent at that level.
+    #[inline]
+    fn bucket_base(&self, level: usize, i: usize) -> u64 {
+        let shift = LEVEL_BITS * (level as u32 + 1);
+        let parent = if shift >= 64 {
+            0
+        } else {
+            (self.cursor >> shift) << shift
+        };
+        parent + ((i as u64) << (LEVEL_BITS * level as u32))
+    }
+
+    /// Insert an entry. When the wheel is completely empty (no staged
+    /// entries, no occupied buckets — `no_live` tells us no live event is
+    /// pending), the entry is staged directly instead of placed: the
+    /// self-rescheduling pattern (one live event at a time, the dominant
+    /// shape in the ROCC model's timer chains) then never touches a bucket
+    /// or pays a cascade or scan.
+    #[inline]
+    fn insert(&mut self, e: Entry<E>, no_live: bool) {
+        if no_live && self.due.is_empty() && self.level_summary == 0 {
+            self.due_time = e.at;
+            self.due_dirty = false;
+            self.due.push_back(e);
+        } else {
+            self.place(e);
+        }
+    }
+
+    /// Insert an entry. Returns the `(base, level, index)` of the bucket it
+    /// landed in, or `None` when it joined the staged `due` queue.
+    #[inline]
+    fn place(&mut self, e: Entry<E>) -> Option<(u64, usize, usize)> {
+        if !self.due.is_empty() && e.at == self.due_time {
+            // Same timestamp as the staged bucket: `seq` is globally
+            // monotone, so appending preserves tie order.
+            self.due.push_back(e);
+            return None;
+        }
+        let level = level_for(e.at, self.cursor);
+        let i = bucket_index(e.at, level);
+        // The bucket is width-aligned and contains `e.at`.
+        let base = e.at & !(level_width(level) - 1);
+        if !self.due.is_empty() && base <= self.due_time {
+            // The entry precedes the staged timestamp, or its bucket's
+            // range spans it. The spanning case matters too: delivering
+            // `due` would rest the cursor inside this bucket's range, and
+            // later placements could then nest buckets inside it —
+            // breaking the range disjointness that `cascade`'s returned
+            // candidate and the single-entry delivery rely on. Either way
+            // the next pop rescans, cascading this bucket before the
+            // staged front fires.
+            self.due_dirty = true;
+        }
+        self.occupied[level] |= 1 << i;
+        self.level_summary |= 1 << level;
+        self.buckets[level * SLOTS + i].push(e);
+        Some((base, level, i))
+    }
+
+    /// Mark bucket `i` at `level` empty in the occupancy bitmaps.
+    #[inline]
+    fn clear_bucket_bit(&mut self, level: usize, i: usize) {
+        self.occupied[level] &= !(1 << i);
+        if self.occupied[level] == 0 {
+            self.level_summary &= !(1 << level);
+        }
+    }
+
+    /// Earliest candidate bucket: `(base, level, index)` with minimal base;
+    /// on a base tie the *highest* level wins so it cascades before any
+    /// same-base level-0 bucket is delivered. Buckets wholly behind the
+    /// cursor hold only cancelled leftovers and are collected on sight.
+    fn min_candidate(&mut self, slab: &mut Slab) -> Option<(u64, usize, usize)> {
+        let mut best: Option<(u64, usize, usize)> = None;
+        let mut levels = self.level_summary;
+        while levels != 0 {
+            let level = levels.trailing_zeros() as usize;
+            levels &= levels - 1;
+            loop {
+                let bm = self.occupied[level];
+                if bm == 0 {
+                    self.level_summary &= !(1 << level);
+                    break;
+                }
+                let i = bm.trailing_zeros() as usize;
+                let base = self.bucket_base(level, i);
+                if base.saturating_add(level_width(level)) <= self.cursor {
+                    // Stale bucket: every live event is at or after the
+                    // cursor, so anything here was cancelled. Collect it.
+                    for e in self.buckets[level * SLOTS + i].drain(..) {
+                        debug_assert!(slab.is_cancelled(e.slot));
+                        slab.release(e.slot);
+                    }
+                    self.occupied[level] &= !(1 << i);
+                    continue;
+                }
+                match best {
+                    Some((b, bl, _)) if b < base || (b == base && bl >= level) => {}
+                    _ => best = Some((base, level, i)),
+                }
+                break;
+            }
+        }
+        best
+    }
+
+    /// Redistribute one level>0 bucket to lower levels, first advancing the
+    /// cursor to the bucket base (safe: the base was the minimal candidate,
+    /// so no live event precedes it). Cancelled entries are collected here
+    /// instead of being re-placed.
+    ///
+    /// Returns the minimal bucket the live entries were re-placed into
+    /// (base order, ties to the higher level). Because bucket ranges are
+    /// disjoint and this bucket was the minimal candidate, every *other*
+    /// bucket starts at or after `base + width` — so the returned bucket is
+    /// the next global candidate and the caller can skip a full scan.
+    fn cascade(
+        &mut self,
+        slab: &mut Slab,
+        base: u64,
+        level: usize,
+        i: usize,
+    ) -> Option<(u64, usize, usize)> {
+        debug_assert!(level > 0);
+        self.cursor = self.cursor.max(base);
+        self.occupied[level] &= !(1 << i);
+        if self.occupied[level] == 0 {
+            self.level_summary &= !(1 << level);
+        }
+        let mut bucket = std::mem::take(&mut self.buckets[level * SLOTS + i]);
+        let mut best: Option<(u64, usize, usize)> = None;
+        for e in bucket.drain(..) {
+            if slab.is_cancelled(e.slot) {
+                slab.release(e.slot);
+            } else {
+                debug_assert!(
+                    level_for(e.at, self.cursor) < level,
+                    "cascade non-descent: at={} seq={} slot={} cursor={} base={} level={} i={}",
+                    e.at,
+                    e.seq,
+                    e.slot,
+                    self.cursor,
+                    base,
+                    level,
+                    i
+                );
+                if let Some((b, l, j)) = self.place(e) {
+                    match best {
+                        Some((bb, bl, _)) if bb < b || (bb == b && bl >= l) => {}
+                        _ => best = Some((b, l, j)),
+                    }
+                }
+            }
+        }
+        // Swap the (now empty) spare back to keep its capacity.
+        std::mem::swap(&mut self.buckets[level * SLOTS + i], &mut bucket);
+        best
+    }
+
+    /// Stage a level-0 bucket for delivery: drain it, sort by `seq` (one
+    /// timestamp per bucket, so this is the full `(time, seq)` order), and
+    /// expose it as the `due` queue.
+    fn stage(&mut self, base: u64, i: usize) {
+        debug_assert!(self.due.is_empty());
+        self.occupied[0] &= !(1 << i);
+        if self.occupied[0] == 0 {
+            self.level_summary &= !1;
+        }
+        let mut bucket = std::mem::take(&mut self.buckets[i]);
+        bucket.sort_unstable_by_key(|e| e.seq);
+        self.due.extend(bucket.drain(..));
+        std::mem::swap(&mut self.buckets[i], &mut bucket);
+        self.due_time = base;
+        self.due_dirty = false;
+    }
+
+    /// Push staged entries back into the wheel. Needed when an event is
+    /// scheduled *earlier* than the staged timestamp after a horizon stop —
+    /// rare, and re-staging re-sorts, so order is unaffected. Cancelled
+    /// entries (including pre-fast-forward leftovers staged from a reused
+    /// bucket) are collected here rather than re-placed.
+    fn unstage(&mut self, slab: &mut Slab) {
+        while let Some(e) = self.due.pop_front() {
+            if slab.is_cancelled(e.slot) {
+                slab.release(e.slot);
+                continue;
+            }
+            debug_assert_eq!(e.at, self.due_time);
+            let level = level_for(e.at, self.cursor);
+            let i = bucket_index(e.at, level);
+            self.occupied[level] |= 1 << i;
+            self.level_summary |= 1 << level;
+            self.buckets[level * SLOTS + i].push(e);
+        }
+    }
+
+    /// Deliver the earliest live event with `at <= horizon`, collecting any
+    /// cancelled entries encountered on the way.
+    ///
+    /// While `due_dirty` is clear the staged front is the global minimum
+    /// (placements since staging were either appended behind it or landed
+    /// in buckets whose ranges lie strictly after `due_time`), so the
+    /// common self-rescheduling shape is a queue pop with no scan;
+    /// everything else is the outlined slow path.
+    #[inline]
+    fn pop_next_before(&mut self, slab: &mut Slab, horizon: u64) -> Option<(u64, E)> {
+        if !self.due_dirty {
+            if let Some(f) = self.due.front() {
+                if !slab.is_cancelled(f.slot) {
+                    if f.at > horizon {
+                        return None;
+                    }
+                    let e = self.due.pop_front().expect("front checked live");
+                    slab.release(e.slot);
+                    self.cursor = self.cursor.max(e.at);
+                    return Some((e.at, e.ev));
+                }
+            }
+        }
+        self.pop_slow(slab, horizon)
+    }
+
+    fn pop_slow(&mut self, slab: &mut Slab, horizon: u64) -> Option<(u64, E)> {
+        // A cascade hands the next candidate straight to the following loop
+        // iteration (see `cascade`), skipping the bitmap scan.
+        let mut cached: Option<(u64, usize, usize)> = None;
+        loop {
+            // Collect cancelled entries at the staged front.
+            while let Some(f) = self.due.front() {
+                if slab.is_cancelled(f.slot) {
+                    slab.release(f.slot);
+                    self.due.pop_front();
+                } else {
+                    break;
+                }
+            }
+            if let Some(f) = self.due.front() {
+                // Fast path: while `due_dirty` is clear the staged front is
+                // the global minimum (placements since staging were either
+                // appended here or landed in buckets wholly after
+                // `due_time`), so no candidate scan is needed at all.
+                if !self.due_dirty {
+                    if f.at > horizon {
+                        return None;
+                    }
+                    let e = self.due.pop_front().expect("front checked live");
+                    slab.release(e.slot);
+                    self.cursor = self.cursor.max(e.at);
+                    return Some((e.at, e.ev));
+                }
+            }
+            let due_t = self.due.front().map(|f| f.at);
+            let candidate = match cached.take() {
+                Some(c) => Some(c),
+                None => self.min_candidate(slab),
+            };
+            match (due_t, candidate) {
+                // The staged front fires only when every bucket starts
+                // *strictly* after it. A bucket base equal to the staged
+                // timestamp is a wider aligned bucket whose range contains
+                // it (its entries all lie later, so order is safe either
+                // way) — it must cascade first so the cursor never comes to
+                // rest inside an occupied bucket's range.
+                (Some(t), c) if c.map_or(true, |(base, _, _)| t < base) => {
+                    // The scan proved nothing in the wheel precedes or
+                    // spans the staged front (whatever set the dirty flag
+                    // was cancelled, collected, or cascaded away).
+                    self.due_dirty = false;
+                    if t > horizon {
+                        return None;
+                    }
+                    let e = self.due.pop_front().expect("front checked live");
+                    slab.release(e.slot);
+                    self.cursor = self.cursor.max(e.at);
+                    return Some((e.at, e.ev));
+                }
+                (Some(_), None) => unreachable!("guarded above: due wins when no candidate"),
+                (_, Some((base, level, i))) => {
+                    if base > horizon {
+                        return None;
+                    }
+                    let bi = level * SLOTS + i;
+                    if self.due.is_empty() && self.buckets[bi].len() == 1 {
+                        // Single-entry minimal bucket: occupied bucket
+                        // ranges are pairwise disjoint, so every other
+                        // pending event lies at or after `base + width` —
+                        // the lone entry is the global minimum whatever its
+                        // level, and is delivered in place with no cascade
+                        // chain and no stage/due round-trip. This is the
+                        // common shape on sparse calendars (the ROCC
+                        // model's timer field).
+                        if slab.is_cancelled(self.buckets[bi][0].slot) {
+                            let e = self.buckets[bi].pop().expect("len checked");
+                            slab.release(e.slot);
+                            self.clear_bucket_bit(level, i);
+                            continue;
+                        }
+                        if self.buckets[bi][0].at > horizon {
+                            return None;
+                        }
+                        let e = self.buckets[bi].pop().expect("len checked");
+                        self.clear_bucket_bit(level, i);
+                        slab.release(e.slot);
+                        self.cursor = self.cursor.max(e.at);
+                        return Some((e.at, e.ev));
+                    }
+                    if level > 0 {
+                        cached = self.cascade(slab, base, level, i);
+                    } else {
+                        // An earlier bucket outranks the staged timestamp;
+                        // put the staged entries back first.
+                        self.unstage(slab);
+                        self.stage(base, i);
+                    }
+                }
+                (None, None) => return None,
+            }
+        }
+    }
+
+    fn occupied_buckets(&self) -> usize {
+        self.occupied.iter().map(|bm| bm.count_ones() as usize).sum()
+    }
+}
+
+/// Legacy heap backend: lazy deletion against the shared slab (no more
+/// `HashSet` probe — cancellation state lives in the slab for both
+/// backends).
+struct HeapCal<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+}
+
+impl<E> HeapCal<E> {
+    #[inline]
+    fn pop_next_before(&mut self, slab: &mut Slab, horizon: u64) -> Option<(u64, E)> {
+        loop {
+            let front = self.heap.peek()?;
+            if slab.is_cancelled(front.0.slot) {
+                let e = self.heap.pop().expect("peeked").0;
+                slab.release(e.slot);
+                continue;
+            }
+            if front.0.at > horizon {
+                return None;
+            }
+            let e = self.heap.pop().expect("peeked").0;
+            slab.release(e.slot);
+            return Some((e.at, e.ev));
+        }
+    }
+}
+
+enum Backend<E> {
+    Wheel(Wheel<E>),
+    Heap(HeapCal<E>),
+}
+
+/// The pending-event calendar: a backend plus the cancellation slab and the
+/// live-event count.
+pub(crate) struct Calendar<E> {
+    slab: Slab,
+    live: usize,
+    backend: Backend<E>,
+}
+
+impl<E> Calendar<E> {
+    pub(crate) fn new(kind: CalendarKind) -> Calendar<E> {
+        Calendar {
+            slab: Slab::new(),
+            live: 0,
+            backend: match kind {
+                CalendarKind::Wheel => Backend::Wheel(Wheel::new()),
+                CalendarKind::Heap => Backend::Heap(HeapCal {
+                    heap: BinaryHeap::new(),
+                }),
+            },
+        }
+    }
+
+    pub(crate) fn kind(&self) -> CalendarKind {
+        match self.backend {
+            Backend::Wheel(_) => CalendarKind::Wheel,
+            Backend::Heap(_) => CalendarKind::Heap,
+        }
+    }
+
+    /// Number of live (not cancelled) pending events. Exact: cancellation
+    /// decrements it immediately.
+    #[inline]
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    pub(crate) fn schedule(&mut self, at: SimTime, seq: u64, ev: E) -> EventHandle {
+        let was_empty = self.live == 0;
+        let h = self.slab.alloc();
+        self.live += 1;
+        let e = Entry {
+            at: at.as_nanos(),
+            seq,
+            slot: h.idx,
+            ev,
+        };
+        match &mut self.backend {
+            Backend::Wheel(w) => w.insert(e, was_empty),
+            Backend::Heap(hc) => hc.heap.push(Reverse(e)),
+        }
+        h
+    }
+
+    /// O(1) cancel. Stale handles (already fired, already cancelled) are
+    /// exact no-ops and leave no residue. Returns whether a live event was
+    /// cancelled.
+    #[inline]
+    pub(crate) fn cancel(&mut self, h: EventHandle) -> bool {
+        let hit = self.slab.cancel(h);
+        if hit {
+            self.live -= 1;
+        }
+        hit
+    }
+
+    /// Deliver the earliest live event with `at <= horizon` in `(time,
+    /// seq)` order (ties in schedule order).
+    #[inline]
+    pub(crate) fn pop_next_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        let popped = match &mut self.backend {
+            Backend::Wheel(w) => w.pop_next_before(&mut self.slab, horizon.as_nanos()),
+            Backend::Heap(h) => h.pop_next_before(&mut self.slab, horizon.as_nanos()),
+        };
+        if let Some((at, ev)) = popped {
+            self.live -= 1;
+            return Some((SimTime::from_nanos(at), ev));
+        }
+        None
+    }
+
+    pub(crate) fn stats(&self) -> CalendarStats {
+        CalendarStats {
+            live: self.live,
+            cancelled_pending: self.slab.cancelled_pending(),
+            slab_slots: self.slab.slots.len(),
+            slab_free: self.slab.free.len(),
+            occupied_buckets: match &self.backend {
+                Backend::Wheel(w) => w.occupied_buckets(),
+                Backend::Heap(_) => 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(c: &mut Calendar<u32>) -> Vec<(u64, u32)> {
+        let mut out = vec![];
+        while let Some((t, ev)) = c.pop_next_before(SimTime::MAX) {
+            out.push((t.as_nanos(), ev));
+        }
+        out
+    }
+
+    fn both() -> [Calendar<u32>; 2] {
+        [
+            Calendar::new(CalendarKind::Wheel),
+            Calendar::new(CalendarKind::Heap),
+        ]
+    }
+
+    #[test]
+    fn placement_levels() {
+        assert_eq!(level_for(0, 0), 0);
+        assert_eq!(level_for(63, 0), 0);
+        assert_eq!(level_for(64, 0), 1);
+        assert_eq!(level_for(64, 63), 1);
+        assert_eq!(level_for(4095, 64), 1);
+        assert_eq!(level_for(4096, 0), 2);
+        assert_eq!(level_for(u64::MAX, 0), 10);
+    }
+
+    #[test]
+    fn due_delivery_inside_an_occupied_bucket_range_does_not_reorder() {
+        // Regression: the first schedule into an empty wheel is staged
+        // directly into `due`; a later placement can then open a wide
+        // bucket whose range spans the staged timestamp. Delivering the
+        // staged event moves the cursor inside that bucket's range, and
+        // without the `advance_to` sweep subsequent placements would nest
+        // inside it, letting the single-entry fast path fire the wide
+        // bucket's entry ahead of an earlier nested one.
+        for mut c in both() {
+            c.schedule(SimTime::from_nanos(262_338), 0, 1);
+            c.schedule(SimTime::from_nanos(286_912), 1, 2); // level-3: [262144, 524288)
+            assert_eq!(
+                c.pop_next_before(SimTime::from_nanos(262_338)),
+                Some((SimTime::from_nanos(262_338), 1)),
+                "{:?}",
+                c.kind()
+            );
+            // The cursor now rests at 262_338; this placement used to nest
+            // a level-1 bucket inside the wide level-3 one.
+            c.schedule(SimTime::from_nanos(262_528), 2, 3);
+            assert_eq!(
+                drain(&mut c),
+                vec![(262_528, 3), (286_912, 2)],
+                "{:?}",
+                c.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn fires_in_time_then_seq_order() {
+        for mut c in both() {
+            let mut seq = 0;
+            for (at, ev) in [(30u64, 3u32), (10, 1), (20, 2), (10, 11), (30, 33)] {
+                c.schedule(SimTime::from_nanos(at), seq, ev);
+                seq += 1;
+            }
+            assert_eq!(
+                drain(&mut c),
+                vec![(10, 1), (10, 11), (20, 2), (30, 3), (30, 33)],
+                "{:?}",
+                c.kind()
+            );
+            assert_eq!(c.live(), 0);
+        }
+    }
+
+    #[test]
+    fn far_apart_times_cascade_correctly() {
+        for mut c in both() {
+            let times = [
+                1u64,
+                63,
+                64,
+                65,
+                4_095,
+                4_096,
+                1_000_000,
+                1_000_000_000,
+                1 << 40,
+                u64::MAX - 1,
+            ];
+            for (i, &t) in times.iter().enumerate() {
+                c.schedule(SimTime::from_nanos(t), i as u64, i as u32);
+            }
+            let got = drain(&mut c);
+            let want: Vec<(u64, u32)> =
+                times.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+            assert_eq!(got, want, "{:?}", c.kind());
+        }
+    }
+
+    #[test]
+    fn cancel_is_exact_and_leaves_no_residue() {
+        for mut c in both() {
+            let h1 = c.schedule(SimTime::from_nanos(10), 0, 1);
+            let h2 = c.schedule(SimTime::from_nanos(20), 1, 2);
+            assert_eq!(c.live(), 2);
+            assert!(c.cancel(h1));
+            assert_eq!(c.live(), 1, "pending count is exact after cancel");
+            assert!(!c.cancel(h1), "double cancel is a stale no-op");
+            assert_eq!(drain(&mut c), vec![(20, 2)]);
+            // Cancel after fire: stale generation, no storage.
+            assert!(!c.cancel(h2));
+            let s = c.stats();
+            assert_eq!(
+                (s.live, s.cancelled_pending),
+                (0, 0),
+                "{:?}: cancel-after-fire left residue",
+                c.kind()
+            );
+            assert_eq!(s.slab_free, s.slab_slots, "all slots recycled");
+        }
+    }
+
+    #[test]
+    fn repeated_cancel_after_fire_is_bounded() {
+        // The old HashSet design leaked one u64 per cancel-after-fire;
+        // the slab must stay at its concurrency high-water mark.
+        for mut c in both() {
+            let mut handles = vec![];
+            for round in 0..1_000u64 {
+                let h = c.schedule(SimTime::from_nanos(round), round, 0);
+                handles.push(h);
+                assert!(c.pop_next_before(SimTime::MAX).is_some());
+                for &h in &handles {
+                    c.cancel(h); // every one is stale
+                }
+            }
+            let s = c.stats();
+            assert_eq!(s.cancelled_pending, 0);
+            assert!(
+                s.slab_slots <= 2,
+                "{:?}: slab grew to {} slots",
+                c.kind(),
+                s.slab_slots
+            );
+        }
+    }
+
+    #[test]
+    fn horizon_is_respected_even_past_cancelled_entries() {
+        for mut c in both() {
+            let h = c.schedule(SimTime::from_nanos(10), 0, 1);
+            c.schedule(SimTime::from_nanos(100), 1, 2);
+            c.cancel(h);
+            assert_eq!(
+                c.pop_next_before(SimTime::from_nanos(50)),
+                None,
+                "{:?}: popped past the horizon over a cancelled entry",
+                c.kind()
+            );
+            assert_eq!(
+                c.pop_next_before(SimTime::from_nanos(100)),
+                Some((SimTime::from_nanos(100), 2))
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_earlier_than_staged_after_horizon_stop() {
+        for mut c in both() {
+            c.schedule(SimTime::from_nanos(1_000), 0, 9);
+            // A horizon probe may internally stage the 1000 ns bucket.
+            assert_eq!(c.pop_next_before(SimTime::from_nanos(500)), None);
+            // Now schedule earlier events, including one at the staged time.
+            c.schedule(SimTime::from_nanos(600), 1, 6);
+            c.schedule(SimTime::from_nanos(1_000), 2, 10);
+            c.schedule(SimTime::from_nanos(600), 3, 7);
+            assert_eq!(
+                drain(&mut c),
+                vec![(600, 6), (600, 7), (1_000, 9), (1_000, 10)],
+                "{:?}",
+                c.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn same_time_entries_across_levels_keep_seq_order() {
+        // seq 0 lands at a high level (scheduled far ahead), then after the
+        // cursor advances, seq 2 at the same instant lands at level 0. The
+        // cascade-then-sort path must still fire 0 before 2.
+        for mut c in both() {
+            c.schedule(SimTime::from_nanos(200), 0, 20);
+            c.schedule(SimTime::from_nanos(190), 1, 19);
+            assert_eq!(
+                c.pop_next_before(SimTime::MAX),
+                Some((SimTime::from_nanos(190), 19))
+            );
+            c.schedule(SimTime::from_nanos(200), 2, 21);
+            assert_eq!(drain(&mut c), vec![(200, 20), (200, 21)], "{:?}", c.kind());
+        }
+    }
+
+    #[test]
+    fn zero_delay_self_scheduling_is_fifo() {
+        for mut c in both() {
+            c.schedule(SimTime::from_nanos(5), 0, 0);
+            assert_eq!(
+                c.pop_next_before(SimTime::MAX),
+                Some((SimTime::from_nanos(5), 0))
+            );
+            // Schedule at the current instant repeatedly mid-delivery.
+            c.schedule(SimTime::from_nanos(5), 1, 1);
+            c.schedule(SimTime::from_nanos(5), 2, 2);
+            assert_eq!(drain(&mut c), vec![(5, 1), (5, 2)], "{:?}", c.kind());
+        }
+    }
+
+    #[test]
+    fn stats_report_occupancy() {
+        let mut c: Calendar<u32> = Calendar::new(CalendarKind::Wheel);
+        for i in 0..10u64 {
+            c.schedule(SimTime::from_nanos(i * 1_000), i, i as u32);
+        }
+        let s = c.stats();
+        assert_eq!(s.live, 10);
+        assert!(s.occupied_buckets >= 1);
+        assert_eq!(s.slab_slots, 10);
+        drain(&mut c);
+        assert_eq!(c.stats().live, 0);
+    }
+}

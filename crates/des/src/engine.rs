@@ -2,12 +2,15 @@
 //!
 //! The kernel is deliberately monomorphic: a model defines a plain `enum` of
 //! events and implements [`Model::handle`]. Events are never boxed, the
-//! calendar is a binary heap keyed by `(time, sequence)`, and ties are broken
-//! in schedule order, so a given model + seed is fully deterministic.
+//! calendar (a hierarchical timing wheel by default, with the legacy binary
+//! heap as a fallback — see [`crate::calendar`]) delivers them in
+//! `(time, sequence)` order with ties broken in schedule order, so a given
+//! model + seed is fully deterministic regardless of the backend.
 
+use crate::calendar::{Calendar, CalendarKind, CalendarStats};
 use crate::time::{SimDur, SimTime};
-use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashSet};
+
+pub use crate::calendar::EventHandle;
 
 /// A simulation model: owns all state and reacts to its own event type.
 pub trait Model {
@@ -19,52 +22,23 @@ pub trait Model {
     fn handle(&mut self, ctx: &mut Ctx<Self::Event>, ev: Self::Event);
 }
 
-/// Handle to a scheduled event, usable for cancellation.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventHandle(u64);
-
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    ev: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// The scheduling context handed to [`Model::handle`].
 ///
 /// Holds the clock and the pending-event calendar.
 pub struct Ctx<E> {
     now: SimTime,
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    calendar: Calendar<E>,
     next_seq: u64,
-    cancelled: HashSet<u64>,
     executed: u64,
     scheduled: u64,
 }
 
 impl<E> Ctx<E> {
-    fn new() -> Self {
+    fn new(kind: CalendarKind) -> Self {
         Ctx {
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
+            calendar: Calendar::new(kind),
             next_seq: 0,
-            cancelled: HashSet::new(),
             executed: 0,
             scheduled: 0,
         }
@@ -80,13 +54,13 @@ impl<E> Ctx<E> {
     ///
     /// # Panics
     /// Panics if `at` is in the past; causality violations are model bugs.
+    #[inline]
     pub fn schedule_at(&mut self, at: SimTime, ev: E) -> EventHandle {
         assert!(at >= self.now, "cannot schedule into the past");
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
-        self.heap.push(Reverse(Entry { at, seq, ev }));
-        EventHandle(seq)
+        self.calendar.schedule(at, seq, ev)
     }
 
     /// Schedule `ev` to fire after a delay of `d`.
@@ -95,10 +69,13 @@ impl<E> Ctx<E> {
         self.schedule_at(self.now + d, ev)
     }
 
-    /// Cancel a previously scheduled event. Cancelling an event that has
-    /// already fired (or was already cancelled) is a no-op.
+    /// Cancel a previously scheduled event in O(1). Cancelling an event that
+    /// has already fired (or was already cancelled) is an exact no-op: the
+    /// handle's generation stamp is stale, so nothing is stored and nothing
+    /// can accumulate across long runs.
+    #[inline]
     pub fn cancel(&mut self, h: EventHandle) {
-        self.cancelled.insert(h.0);
+        self.calendar.cancel(h);
     }
 
     /// Number of events executed so far.
@@ -111,20 +88,30 @@ impl<E> Ctx<E> {
         self.scheduled
     }
 
-    /// Number of events still pending in the calendar (including events that
-    /// were cancelled but not yet popped).
+    /// Number of **live** events pending in the calendar. Exact: cancelled
+    /// events are excluded the moment [`Ctx::cancel`] takes effect, not when
+    /// their slot is lazily collected.
     pub fn pending_events(&self) -> usize {
-        self.heap.len()
+        self.calendar.live()
     }
 
-    fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            return Some((entry.at, entry.ev));
-        }
-        None
+    /// Occupancy/health counters of the calendar (slab size, cancelled
+    /// backlog, bucket occupancy). Cheap enough for test assertions and
+    /// bench reporting.
+    pub fn calendar_stats(&self) -> CalendarStats {
+        self.calendar.stats()
+    }
+
+    /// Which calendar backend this context runs on.
+    pub fn calendar_kind(&self) -> CalendarKind {
+        self.calendar.kind()
+    }
+
+    /// Deliver the next live event at or before `horizon`, advancing the
+    /// clock. `None` leaves the clock untouched.
+    #[inline]
+    fn pop_next_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        self.calendar.pop_next_before(horizon)
     }
 }
 
@@ -137,10 +124,17 @@ pub struct Sim<M: Model> {
 
 impl<M: Model> Sim<M> {
     /// Create a driver around `model` with an empty calendar at time zero.
+    /// Uses the timing wheel unless `PARADYN_CALENDAR=heap` is set.
     pub fn new(model: M) -> Self {
+        Sim::with_calendar(model, CalendarKind::default_from_env())
+    }
+
+    /// Create a driver with an explicit calendar backend (the wheel is the
+    /// default; the heap is the fallback/differential-testing oracle).
+    pub fn with_calendar(model: M, kind: CalendarKind) -> Self {
         Sim {
             model,
-            ctx: Ctx::new(),
+            ctx: Ctx::new(kind),
         }
     }
 
@@ -157,7 +151,12 @@ impl<M: Model> Sim<M> {
     /// Execute the single next event, if any. Returns `false` when the
     /// calendar is empty.
     pub fn step(&mut self) -> bool {
-        match self.ctx.pop() {
+        self.step_bounded(SimTime::MAX)
+    }
+
+    #[inline]
+    fn step_bounded(&mut self, horizon: SimTime) -> bool {
+        match self.ctx.pop_next_before(horizon) {
             Some((at, ev)) => {
                 debug_assert!(at >= self.ctx.now);
                 self.ctx.now = at;
@@ -173,15 +172,10 @@ impl<M: Model> Sim<M> {
     ///
     /// Events scheduled exactly at the horizon still fire; the clock is left
     /// at the horizon (or at the last event if the calendar drained first).
+    /// Only *live* events are consulted: a cancelled entry before the
+    /// horizon never causes a later event beyond it to fire early.
     pub fn run_until(&mut self, horizon: SimTime) {
-        loop {
-            match self.ctx.heap.peek() {
-                Some(Reverse(e)) if e.at <= horizon => {
-                    self.step();
-                }
-                _ => break,
-            }
-        }
+        while self.step_bounded(horizon) {}
         if self.ctx.now < horizon {
             self.ctx.now = horizon;
         }
@@ -224,78 +218,147 @@ mod tests {
         }
     }
 
+    fn toy(respawn: bool) -> impl Iterator<Item = Sim<Toy>> {
+        [CalendarKind::Wheel, CalendarKind::Heap]
+            .into_iter()
+            .map(move |kind| Sim::with_calendar(Toy { fired: vec![], respawn }, kind))
+    }
+
     #[test]
     fn fires_in_time_order() {
-        let mut sim = Sim::new(Toy { fired: vec![], respawn: false });
-        sim.ctx().schedule_at(SimTime::from_nanos(30), 3);
-        sim.ctx().schedule_at(SimTime::from_nanos(10), 1);
-        sim.ctx().schedule_at(SimTime::from_nanos(20), 2);
-        sim.run_until(SimTime::MAX);
-        assert_eq!(sim.model.fired, vec![1, 2, 3]);
-        assert_eq!(sim.executed_events(), 3);
+        for mut sim in toy(false) {
+            sim.ctx().schedule_at(SimTime::from_nanos(30), 3);
+            sim.ctx().schedule_at(SimTime::from_nanos(10), 1);
+            sim.ctx().schedule_at(SimTime::from_nanos(20), 2);
+            sim.run_until(SimTime::MAX);
+            assert_eq!(sim.model.fired, vec![1, 2, 3]);
+            assert_eq!(sim.executed_events(), 3);
+        }
     }
 
     #[test]
     fn ties_fire_in_schedule_order() {
-        let mut sim = Sim::new(Toy { fired: vec![], respawn: false });
-        let t = SimTime::from_nanos(5);
-        for i in 0..100 {
-            sim.ctx().schedule_at(t, i);
+        for mut sim in toy(false) {
+            let t = SimTime::from_nanos(5);
+            for i in 0..100 {
+                sim.ctx().schedule_at(t, i);
+            }
+            sim.run_until(SimTime::MAX);
+            assert_eq!(sim.model.fired, (0..100).collect::<Vec<_>>());
         }
-        sim.run_until(SimTime::MAX);
-        assert_eq!(sim.model.fired, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn chained_scheduling_advances_clock() {
-        let mut sim = Sim::new(Toy { fired: vec![], respawn: true });
-        sim.ctx().schedule_at(SimTime::from_nanos(0), 0);
-        sim.run_until(SimTime::from_nanos(1_000));
-        assert_eq!(sim.model.fired.len(), 11);
-        // After the calendar drains, the clock advances to the horizon.
-        assert_eq!(sim.now().as_nanos(), 1_000);
+        for mut sim in toy(true) {
+            sim.ctx().schedule_at(SimTime::from_nanos(0), 0);
+            sim.run_until(SimTime::from_nanos(1_000));
+            assert_eq!(sim.model.fired.len(), 11);
+            // After the calendar drains, the clock advances to the horizon.
+            assert_eq!(sim.now().as_nanos(), 1_000);
+        }
     }
 
     #[test]
     fn horizon_cuts_off_and_clock_lands_on_horizon() {
-        let mut sim = Sim::new(Toy { fired: vec![], respawn: false });
-        sim.ctx().schedule_at(SimTime::from_nanos(10), 1);
-        sim.ctx().schedule_at(SimTime::from_nanos(90), 2);
-        sim.run_until(SimTime::from_nanos(50));
-        assert_eq!(sim.model.fired, vec![1]);
-        assert_eq!(sim.now().as_nanos(), 50);
-        // The remaining event still fires on a later run.
-        sim.run_until(SimTime::from_nanos(100));
-        assert_eq!(sim.model.fired, vec![1, 2]);
+        for mut sim in toy(false) {
+            sim.ctx().schedule_at(SimTime::from_nanos(10), 1);
+            sim.ctx().schedule_at(SimTime::from_nanos(90), 2);
+            sim.run_until(SimTime::from_nanos(50));
+            assert_eq!(sim.model.fired, vec![1]);
+            assert_eq!(sim.now().as_nanos(), 50);
+            // The remaining event still fires on a later run.
+            sim.run_until(SimTime::from_nanos(100));
+            assert_eq!(sim.model.fired, vec![1, 2]);
+        }
     }
 
     #[test]
     fn events_at_horizon_fire() {
-        let mut sim = Sim::new(Toy { fired: vec![], respawn: false });
-        sim.ctx().schedule_at(SimTime::from_nanos(50), 7);
-        sim.run_until(SimTime::from_nanos(50));
-        assert_eq!(sim.model.fired, vec![7]);
+        for mut sim in toy(false) {
+            sim.ctx().schedule_at(SimTime::from_nanos(50), 7);
+            sim.run_until(SimTime::from_nanos(50));
+            assert_eq!(sim.model.fired, vec![7]);
+        }
     }
 
     #[test]
     fn cancellation_suppresses_event() {
-        let mut sim = Sim::new(Toy { fired: vec![], respawn: false });
-        let h = sim.ctx().schedule_at(SimTime::from_nanos(10), 1);
-        sim.ctx().schedule_at(SimTime::from_nanos(20), 2);
-        sim.ctx().cancel(h);
-        sim.run_until(SimTime::MAX);
-        assert_eq!(sim.model.fired, vec![2]);
-        // Cancelling again (or after firing) is harmless.
-        sim.ctx().cancel(h);
+        for mut sim in toy(false) {
+            let h = sim.ctx().schedule_at(SimTime::from_nanos(10), 1);
+            sim.ctx().schedule_at(SimTime::from_nanos(20), 2);
+            sim.ctx().cancel(h);
+            sim.run_until(SimTime::MAX);
+            assert_eq!(sim.model.fired, vec![2]);
+            // Cancelling again (or after firing) is harmless.
+            sim.ctx().cancel(h);
+        }
+    }
+
+    #[test]
+    fn cancelled_entry_does_not_drag_later_events_before_horizon() {
+        // Regression: the old `run_until` peeked the raw heap, saw the
+        // cancelled 10 ns entry under the 50 ns horizon, and then `step()`
+        // popped *past* it, firing the 90 ns event 40 ns early.
+        for mut sim in toy(false) {
+            let h = sim.ctx().schedule_at(SimTime::from_nanos(10), 1);
+            sim.ctx().schedule_at(SimTime::from_nanos(90), 2);
+            sim.ctx().cancel(h);
+            sim.run_until(SimTime::from_nanos(50));
+            assert_eq!(sim.model.fired, vec![], "event beyond horizon fired early");
+            assert_eq!(sim.now().as_nanos(), 50);
+            sim.run_until(SimTime::from_nanos(90));
+            assert_eq!(sim.model.fired, vec![2]);
+        }
+    }
+
+    #[test]
+    fn cancel_after_fire_leaves_no_residue() {
+        // Regression: the old design inserted every stale cancel into a
+        // HashSet that nothing ever drained.
+        for mut sim in toy(false) {
+            let mut handles = vec![];
+            for i in 0..500u64 {
+                handles.push(sim.ctx().schedule_at(SimTime::from_nanos(i), i as u32));
+            }
+            sim.run_until(SimTime::MAX);
+            for h in handles {
+                sim.ctx().cancel(h);
+                sim.ctx().cancel(h);
+            }
+            let s = sim.ctx().calendar_stats();
+            assert_eq!(s.cancelled_pending, 0, "stale cancels accumulated");
+            assert_eq!(s.live, 0);
+            assert_eq!(s.slab_free, s.slab_slots, "all slab slots recycled");
+        }
+    }
+
+    #[test]
+    fn pending_events_counts_live_only() {
+        for mut sim in toy(false) {
+            let h = sim.ctx().schedule_at(SimTime::from_nanos(10), 1);
+            sim.ctx().schedule_at(SimTime::from_nanos(20), 2);
+            sim.ctx().schedule_at(SimTime::from_nanos(30), 3);
+            assert_eq!(sim.ctx().pending_events(), 3);
+            sim.ctx().cancel(h);
+            assert_eq!(
+                sim.ctx().pending_events(),
+                2,
+                "cancelled-but-unpopped entries must not be counted"
+            );
+            sim.run_until(SimTime::MAX);
+            assert_eq!(sim.ctx().pending_events(), 0);
+        }
     }
 
     #[test]
     fn run_events_bounds_execution() {
-        let mut sim = Sim::new(Toy { fired: vec![], respawn: true });
-        sim.ctx().schedule_at(SimTime::from_nanos(0), 0);
-        let n = sim.run_events(3);
-        assert_eq!(n, 3);
-        assert_eq!(sim.model.fired, vec![0, 1, 2]);
+        for mut sim in toy(true) {
+            sim.ctx().schedule_at(SimTime::from_nanos(0), 0);
+            let n = sim.run_events(3);
+            assert_eq!(n, 3);
+            assert_eq!(sim.model.fired, vec![0, 1, 2]);
+        }
     }
 
     #[test]

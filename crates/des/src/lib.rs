@@ -2,16 +2,20 @@
 //! # paradyn-des — discrete-event simulation kernel
 //!
 //! The simulation substrate for the Paradyn instrumentation-system study:
-//! a deterministic, monomorphic event calendar ([`engine`]), an integer
-//! nanosecond clock ([`time`]), reproducible independent random streams
-//! ([`rng`]), statistics monitors ([`monitor`]), and reusable resource state
-//! machines — an FCFS single server ([`fcfs`]) and a round-robin quantum CPU
-//! bank ([`rr`]).
+//! a deterministic, monomorphic event calendar ([`engine`], backed by the
+//! hierarchical timing wheel in [`calendar`]), an integer nanosecond clock
+//! ([`time`]), reproducible independent random streams ([`rng`]),
+//! statistics monitors ([`monitor`]), and reusable resource state machines
+//! — an FCFS single server ([`fcfs`]) and a round-robin quantum CPU bank
+//! ([`rr`]).
 //!
 //! Design choices (see DESIGN.md §5):
 //! * **Integer time** — exact event ordering, bit-reproducible runs.
 //! * **Typed events** — models define an event `enum`; nothing is boxed on
 //!   the hot path.
+//! * **O(1) calendar** — a timing wheel keyed on the nanosecond clock with
+//!   generation-stamped cancellation; the legacy binary heap remains as
+//!   [`CalendarKind::Heap`] and as the differential-testing oracle.
 //! * **Resources as pure state machines** — they own no events; the model
 //!   schedules exactly one completion/slice event per started service, which
 //!   makes the components independently testable.
@@ -41,6 +45,7 @@
 //! assert_eq!(sim.executed_events(), 10);
 //! ```
 
+pub mod calendar;
 pub mod engine;
 pub mod fault;
 pub mod fcfs;
@@ -49,6 +54,7 @@ pub mod rng;
 pub mod rr;
 pub mod time;
 
+pub use calendar::{CalendarKind, CalendarStats};
 pub use engine::{Ctx, EventHandle, Model, Sim};
 pub use fault::FaultSchedule;
 pub use fcfs::{FcfsServer, Offer};

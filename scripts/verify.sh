@@ -17,4 +17,19 @@ cargo test -q --offline --test fault_injection
 echo "== fault-sweep smoke (repro faults, quick scale) =="
 cargo run --release --offline -p paradyn-bench --bin repro -- --scale quick faults
 
+echo "== bench smoke (every bench once, short mode) =="
+smoke_json="$(mktemp)"
+for b in des_engine rocc_model policies stats_kernels time_repr; do
+  PARADYN_BENCH_SMOKE=1 PARADYN_BENCH_ITERS=1 PARADYN_BENCH_WARMUP=1 \
+  PARADYN_BENCH_JSON="$smoke_json" \
+    cargo bench -q --offline -p paradyn-bench --bench "$b"
+done
+
+echo "== bench JSON schema check (smoke output + committed baseline) =="
+cargo run --release --offline -q -p paradyn-bench --bin check_bench_json -- "$smoke_json"
+rm -f "$smoke_json"
+if [ -f BENCH_des.json ]; then
+  cargo run --release --offline -q -p paradyn-bench --bin check_bench_json
+fi
+
 echo "verify: OK"

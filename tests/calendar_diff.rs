@@ -1,0 +1,178 @@
+//! Differential property tests: the timing-wheel calendar must be
+//! observationally identical to the binary-heap oracle — same `(time,
+//! event)` trace (including tie order), same executed/pending counts, and
+//! no slab residue after a full drain — under random schedule/cancel/run
+//! sequences spanning every wheel level.
+//!
+//! Runs on the in-tree `paradyn_stats::check` harness. Rerun a reported
+//! failure with `PARADYN_PROP_SEED=<seed> cargo test <property name>`.
+
+use paradyn_des::{CalendarKind, Ctx, EventHandle, Model, Sim, SimDur, SimTime};
+use paradyn_stats::{check, prop_assert, prop_assert_eq};
+
+/// Records every delivered event with its firing time.
+struct Recorder {
+    trace: Vec<(u64, u32)>,
+}
+
+impl Model for Recorder {
+    type Event = u32;
+    fn handle(&mut self, ctx: &mut Ctx<u32>, ev: u32) {
+        self.trace.push((ctx.now().as_nanos(), ev));
+    }
+}
+
+/// One generated operation, applied identically to both backends.
+enum Op {
+    /// Schedule at `now + delay`; the returned handle is retained.
+    Schedule { delay: u64, ev: u32 },
+    /// Cancel the `idx % handles.len()`-th retained handle (possibly
+    /// stale: already fired or already cancelled).
+    Cancel { idx: usize },
+    /// Advance the clock by `dur` (a horizon stop, not an event).
+    Run { dur: u64 },
+}
+
+/// Delay scales that exercise placement at distinct wheel levels, from the
+/// staged/due fast path (0–63 ns) up past the 1 << 36 overflow levels.
+const SCALES: [u64; 6] = [1, 64, 4096, 262_144, 1 << 24, 1 << 36];
+
+fn gen_ops(g: &mut paradyn_stats::Gen) -> Vec<Op> {
+    let n = g.usize_in(1, 120);
+    (0..n)
+        .map(|_| match g.u64_in(0, 9) {
+            0..=5 => Op::Schedule {
+                // Scaled so ties (delay 0 and equal delays) are common.
+                delay: g.u64_in(0, 8) * SCALES[g.index(SCALES.len())],
+                ev: g.u64_in(0, u32::MAX as u64) as u32,
+            },
+            6..=7 => Op::Cancel {
+                idx: g.usize_in(0, 4096),
+            },
+            _ => Op::Run {
+                dur: g.u64_in(0, 4) * SCALES[g.index(SCALES.len())],
+            },
+        })
+        .collect()
+}
+
+/// Drive one backend through `ops`, then drain it completely.
+fn drive(kind: CalendarKind, ops: &[Op]) -> Sim<Recorder> {
+    let mut sim = Sim::with_calendar(Recorder { trace: vec![] }, kind);
+    let mut handles: Vec<EventHandle> = vec![];
+    for op in ops {
+        match *op {
+            Op::Schedule { delay, ev } => {
+                let h = sim.ctx().schedule_in(SimDur::from_nanos(delay), ev);
+                handles.push(h);
+            }
+            Op::Cancel { idx } => {
+                if !handles.is_empty() {
+                    let h = handles[idx % handles.len()];
+                    sim.ctx().cancel(h);
+                }
+            }
+            Op::Run { dur } => {
+                let horizon = sim.now() + SimDur::from_nanos(dur);
+                sim.run_until(horizon);
+            }
+        }
+    }
+    sim.run_until(SimTime::MAX);
+    sim
+}
+
+/// The wheel and the heap produce bit-identical `(time, event)` traces —
+/// including tie order — and agree on every observable counter.
+#[test]
+fn wheel_matches_heap_oracle() {
+    check("wheel_matches_heap_oracle", |g| {
+        let ops = gen_ops(g);
+        let wheel = drive(CalendarKind::Wheel, &ops);
+        let heap = drive(CalendarKind::Heap, &ops);
+        prop_assert_eq!(&wheel.model.trace, &heap.model.trace);
+        prop_assert_eq!(wheel.executed_events(), heap.executed_events());
+        Ok(())
+    });
+}
+
+/// After a full drain both backends report zero pending events and have
+/// recycled every slab slot — cancellation leaves no residue.
+#[test]
+fn drained_calendars_have_no_residue() {
+    check("drained_calendars_have_no_residue", |g| {
+        let ops = gen_ops(g);
+        for kind in [CalendarKind::Wheel, CalendarKind::Heap] {
+            let mut sim = drive(kind, &ops);
+            prop_assert_eq!(sim.ctx().pending_events(), 0);
+            let s = sim.ctx().calendar_stats();
+            prop_assert_eq!(s.live, 0);
+            prop_assert!(s.cancelled_pending == 0, "cancelled entries left behind");
+            prop_assert!(s.slab_free == s.slab_slots, "leaked slab slots");
+            prop_assert!(
+                kind == CalendarKind::Heap || s.occupied_buckets == 0,
+                "drained wheel still has occupied buckets"
+            );
+        }
+        Ok(())
+    });
+}
+
+/// `pending_events` is exact at every intermediate point: it equals the
+/// number of scheduled-but-unfired events minus effective cancellations,
+/// tracked by a reference count alongside the real calendar.
+#[test]
+fn pending_count_matches_reference() {
+    check("pending_count_matches_reference", |g| {
+        let ops = gen_ops(g);
+        #[derive(PartialEq, Clone, Copy)]
+        enum St {
+            Pending,
+            Cancelled,
+            Fired,
+        }
+        for kind in [CalendarKind::Wheel, CalendarKind::Heap] {
+            let mut sim = Sim::with_calendar(Recorder { trace: vec![] }, kind);
+            let mut handles: Vec<EventHandle> = vec![];
+            let mut state: Vec<St> = vec![];
+            for op in &ops {
+                match *op {
+                    Op::Schedule { delay, .. } => {
+                        // Event payload = handle index, so the trace tells
+                        // us exactly which schedules fired.
+                        let ev = handles.len() as u32;
+                        handles.push(sim.ctx().schedule_in(SimDur::from_nanos(delay), ev));
+                        state.push(St::Pending);
+                    }
+                    Op::Cancel { idx } => {
+                        if !handles.is_empty() {
+                            let k = idx % handles.len();
+                            sim.ctx().cancel(handles[k]);
+                            // A cancel only takes effect on a pending event;
+                            // on fired/cancelled handles it is a stale no-op.
+                            if state[k] == St::Pending {
+                                state[k] = St::Cancelled;
+                            }
+                        }
+                    }
+                    Op::Run { dur } => {
+                        let horizon = sim.now() + SimDur::from_nanos(dur);
+                        sim.run_until(horizon);
+                        for &(_, ev) in &sim.model.trace {
+                            state[ev as usize] = St::Fired;
+                        }
+                    }
+                }
+                let expect = state.iter().filter(|&&s| s == St::Pending).count();
+                prop_assert!(
+                    sim.ctx().pending_events() == expect,
+                    "{:?}: pending_events {} != reference {}",
+                    kind,
+                    sim.ctx().pending_events(),
+                    expect
+                );
+            }
+        }
+        Ok(())
+    });
+}
