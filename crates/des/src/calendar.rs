@@ -483,6 +483,7 @@ impl<E> Wheel<E> {
                     if f.at > horizon {
                         return None;
                     }
+                    // lint:allow(panic-path): front() returned Some above; pop_front cannot fail
                     let e = self.due.pop_front().expect("front checked live");
                     slab.release(e.slot);
                     self.cursor = self.cursor.max(e.at);
@@ -516,6 +517,7 @@ impl<E> Wheel<E> {
                     if f.at > horizon {
                         return None;
                     }
+                    // lint:allow(panic-path): front() returned Some above; pop_front cannot fail
                     let e = self.due.pop_front().expect("front checked live");
                     slab.release(e.slot);
                     self.cursor = self.cursor.max(e.at);
@@ -542,6 +544,7 @@ impl<E> Wheel<E> {
                     if t > horizon {
                         return None;
                     }
+                    // lint:allow(panic-path): due_t is Some, so the staged queue is non-empty
                     let e = self.due.pop_front().expect("front checked live");
                     slab.release(e.slot);
                     self.cursor = self.cursor.max(e.at);
@@ -563,6 +566,7 @@ impl<E> Wheel<E> {
                         // common shape on sparse calendars (the ROCC
                         // model's timer field).
                         if slab.is_cancelled(self.buckets[bi][0].slot) {
+                            // lint:allow(panic-path): bucket len == 1 checked by the branch guard
                             let e = self.buckets[bi].pop().expect("len checked");
                             slab.release(e.slot);
                             self.clear_bucket_bit(level, i);
@@ -571,6 +575,7 @@ impl<E> Wheel<E> {
                         if self.buckets[bi][0].at > horizon {
                             return None;
                         }
+                        // lint:allow(panic-path): bucket len == 1 checked by the branch guard
                         let e = self.buckets[bi].pop().expect("len checked");
                         self.clear_bucket_bit(level, i);
                         slab.release(e.slot);
@@ -609,6 +614,7 @@ impl<E> HeapCal<E> {
         loop {
             let front = self.heap.peek()?;
             if slab.is_cancelled(front.0.slot) {
+                // lint:allow(panic-path): peek() returned Some above; pop cannot fail
                 let e = self.heap.pop().expect("peeked").0;
                 slab.release(e.slot);
                 continue;
@@ -616,6 +622,7 @@ impl<E> HeapCal<E> {
             if front.0.at > horizon {
                 return None;
             }
+            // lint:allow(panic-path): peek() returned Some above; pop cannot fail
             let e = self.heap.pop().expect("peeked").0;
             slab.release(e.slot);
             return Some((e.at, e.ev));

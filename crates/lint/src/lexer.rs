@@ -1,0 +1,581 @@
+//! A hand-written Rust lexer, just deep enough for span-accurate linting.
+//!
+//! The workspace is hermetic (no `syn`, no `proc-macro2` — see
+//! `tests/hermetic.rs`), so the lint pass carries its own tokenizer. It does
+//! not parse; it produces a flat token stream with byte spans and resolves
+//! the classic lexical ambiguities that would otherwise corrupt findings:
+//!
+//! * `r#"…"#` raw strings (any number of `#`s), `b"…"`/`br#"…"#`/`c"…"`
+//!   byte- and C-string prefixes, and `r#ident` raw identifiers;
+//! * nested block comments `/* /* */ */` (Rust nests them, C does not);
+//! * `'a` lifetimes vs `'x'` char literals (including `'\''` escapes);
+//! * `//` sequences *inside* string literals, which must not start a
+//!   comment.
+//!
+//! Rules must never match source text directly — only tokens — so a
+//! forbidden name inside a string, comment, or doc example can never
+//! produce a false finding.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`, stored without `r#`).
+    Ident,
+    /// A lifetime such as `'a` or `'_` (no trailing quote).
+    Lifetime,
+    /// Character literal `'x'` / byte char `b'x'`, escapes included.
+    Char,
+    /// Any string literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`.
+    Str,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.5`, `2e9`).
+    Float,
+    /// `// …` comment, text kept for `lint:allow` parsing.
+    LineComment,
+    /// `/* … */` comment (nesting handled).
+    BlockComment,
+    /// A single punctuation byte (`.`, `(`, `#`, …).
+    Punct(u8),
+}
+
+/// One token with its span.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Kind tag.
+    pub kind: TokKind,
+    /// Byte offset of the token start in the source.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+    /// 1-based source line of the token start.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token start.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// For `Int` tokens: the numeric value, if it fits in `u64`.
+    pub fn int_value(&self, src: &str) -> Option<u64> {
+        let t = self.text(src);
+        let t: String = t.chars().filter(|&c| c != '_').collect();
+        // Strip a type suffix (`u64`, `usize`, `i32`, …).
+        let strip = |s: &str, radix: u32| {
+            let end = s
+                .char_indices()
+                .find(|&(_, c)| !c.is_digit(radix))
+                .map_or(s.len(), |(i, _)| i);
+            u64::from_str_radix(&s[..end], radix).ok()
+        };
+        if let Some(hex) = t.strip_prefix("0x").or(t.strip_prefix("0X")) {
+            strip(hex, 16)
+        } else if let Some(oct) = t.strip_prefix("0o") {
+            strip(oct, 8)
+        } else if let Some(bin) = t.strip_prefix("0b") {
+            strip(bin, 2)
+        } else {
+            strip(&t, 10)
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. Unterminated constructs (string, comment) consume the
+/// rest of the file rather than erroring: the lint must degrade gracefully
+/// on code that `rustc` itself would reject.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+        out: Vec::with_capacity(src.len() / 4),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.line_start = self.pos;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.lifetime_or_char(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.push(TokKind::Punct(b), self.pos, self.pos + 1);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize) {
+        self.out.push(Token {
+            kind,
+            start,
+            end,
+            line: self.line,
+            col: (start - self.line_start) as u32 + 1,
+        });
+    }
+
+    /// Advance over `self.src[start..end]`, keeping the line counter right.
+    fn advance_to(&mut self, end: usize) {
+        while self.pos < end {
+            if self.src[self.pos] == b'\n' {
+                self.line += 1;
+                self.line_start = self.pos + 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let mut end = self.pos;
+        while end < self.src.len() && self.src[end] != b'\n' {
+            end += 1;
+        }
+        self.push(TokKind::LineComment, start, end);
+        self.pos = end; // newline handled by the main loop
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let mut depth = 0usize;
+        let mut i = self.pos;
+        while i < self.src.len() {
+            if self.src[i] == b'/' && self.src.get(i + 1) == Some(&b'*') {
+                depth += 1;
+                i += 2;
+            } else if self.src[i] == b'*' && self.src.get(i + 1) == Some(&b'/') {
+                depth -= 1;
+                i += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.push(TokKind::BlockComment, start, i);
+        self.advance_to(i);
+    }
+
+    /// Plain (non-raw) string body starting at the opening quote.
+    fn string(&mut self, start: usize) {
+        let mut i = self.pos + 1;
+        while i < self.src.len() {
+            match self.src[i] {
+                b'\\' => i += 2, // escape: skip the escaped byte (covers \" and \\)
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        self.push(TokKind::Str, start, i.min(self.src.len()));
+        self.advance_to(i.min(self.src.len()));
+    }
+
+    /// Raw string body: `pos` sits on the first `#` or the quote; `hashes`
+    /// is how many `#`s open it.
+    fn raw_string(&mut self, start: usize, hashes: usize) {
+        let mut i = self.pos + hashes + 1; // past #s and the opening quote
+        while i < self.src.len() {
+            if self.src[i] == b'"' {
+                let tail = &self.src[i + 1..];
+                if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                    i += 1 + hashes;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        self.push(TokKind::Str, start, i.min(self.src.len()));
+        self.advance_to(i.min(self.src.len()));
+    }
+
+    /// `'a` / `'_` lifetime, or `'x'` / `'\n'` char literal.
+    fn lifetime_or_char(&mut self) {
+        let start = self.pos;
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: skip to the closing quote.
+                let mut i = self.pos + 2;
+                if i < self.src.len() {
+                    i += 1; // the escaped byte itself ('\'' and '\\' included)
+                }
+                while i < self.src.len() && self.src[i] != b'\'' {
+                    i += 1; // multi-byte escapes: \u{…}, \x7f
+                }
+                let end = (i + 1).min(self.src.len());
+                self.push(TokKind::Char, start, end);
+                self.advance_to(end);
+            }
+            Some(c) if is_ident_start(c) && self.peek(2) != Some(b'\'') => {
+                // Lifetime: 'ident with no closing quote.
+                let mut i = self.pos + 2;
+                while i < self.src.len() && is_ident_continue(self.src[i]) {
+                    i += 1;
+                }
+                self.push(TokKind::Lifetime, start, i);
+                self.advance_to(i);
+            }
+            Some(_) => {
+                // 'x' char literal (possibly multi-byte UTF-8 payload).
+                let mut i = self.pos + 1;
+                while i < self.src.len() && self.src[i] != b'\'' {
+                    i += 1;
+                }
+                let end = (i + 1).min(self.src.len());
+                self.push(TokKind::Char, start, end);
+                self.advance_to(end);
+            }
+            None => {
+                self.push(TokKind::Punct(b'\''), start, start + 1);
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut i = self.pos;
+        let mut float = false;
+        if self.src[i] == b'0' && matches!(self.src.get(i + 1), Some(b'x' | b'X' | b'o' | b'b')) {
+            i += 2;
+            while i < self.src.len() && (self.src[i].is_ascii_alphanumeric() || self.src[i] == b'_')
+            {
+                i += 1;
+            }
+        } else {
+            while i < self.src.len() && (self.src[i].is_ascii_digit() || self.src[i] == b'_') {
+                i += 1;
+            }
+            // Fraction — but `1..2` is two range dots, not a float.
+            if self.src.get(i) == Some(&b'.')
+                && self.src.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+            {
+                float = true;
+                i += 1;
+                while i < self.src.len() && (self.src[i].is_ascii_digit() || self.src[i] == b'_') {
+                    i += 1;
+                }
+            }
+            // Exponent.
+            if matches!(self.src.get(i), Some(b'e' | b'E'))
+                && (self.src.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                    || (matches!(self.src.get(i + 1), Some(b'+' | b'-'))
+                        && self.src.get(i + 2).is_some_and(|b| b.is_ascii_digit())))
+            {
+                float = true;
+                i += 1;
+                if matches!(self.src.get(i), Some(b'+' | b'-')) {
+                    i += 1;
+                }
+                while i < self.src.len() && self.src[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            // Type suffix: `u64`, `f32`, `usize`, …
+            if self.src.get(i).is_some_and(|&b| is_ident_start(b)) {
+                if self.src[i] == b'f' {
+                    float = true;
+                }
+                while i < self.src.len() && is_ident_continue(self.src[i]) {
+                    i += 1;
+                }
+            }
+        }
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.push(kind, start, i);
+        self.pos = i;
+    }
+
+    /// An identifier — unless it is one of the literal prefixes (`r`, `b`,
+    /// `c`, `br`, `cr`) glued to a quote, in which case the whole literal
+    /// is lexed; or `r#ident`, a raw identifier.
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.pos;
+        let mut i = self.pos;
+        while i < self.src.len() && is_ident_continue(self.src[i]) {
+            i += 1;
+        }
+        let word = &self.src[start..i];
+        let next = self.src.get(i).copied();
+
+        // b'x' — byte char literal.
+        if word == b"b" && next == Some(b'\'') {
+            self.pos = i;
+            self.lifetime_or_char();
+            // Rewrite the just-pushed token to include the `b` prefix.
+            if let Some(t) = self.out.last_mut() {
+                t.start = start;
+                t.col -= 1;
+            }
+            return;
+        }
+
+        // "…"-starting literal prefixes.
+        let raw_capable = matches!(word, b"r" | b"br" | b"cr");
+        let plain_prefix = matches!(word, b"b" | b"c");
+        if (raw_capable || plain_prefix) && matches!(next, Some(b'"' | b'#')) {
+            if next == Some(b'"') {
+                self.pos = i;
+                if raw_capable {
+                    self.raw_string(start, 0);
+                } else {
+                    self.string(start);
+                }
+                return;
+            }
+            // `#`s: count them; a quote must follow for this to be a raw
+            // string — `r#ident` falls through to the raw-identifier case.
+            if raw_capable {
+                let mut hashes = 0;
+                while self.src.get(i + hashes) == Some(&b'#') {
+                    hashes += 1;
+                }
+                if self.src.get(i + hashes) == Some(&b'"') {
+                    self.pos = i;
+                    self.raw_string(start, hashes);
+                    return;
+                }
+            }
+        }
+
+        // r#ident raw identifier: token text is the bare ident.
+        if word == b"r" && next == Some(b'#') && self.src.get(i + 1).is_some_and(|&b| is_ident_start(b))
+        {
+            let id_start = i + 1;
+            let mut j = id_start;
+            while j < self.src.len() && is_ident_continue(self.src[j]) {
+                j += 1;
+            }
+            self.push(TokKind::Ident, id_start, j);
+            // Span text excludes `r#` so rules compare the bare name; fix
+            // the column to point at the true start.
+            if let Some(t) = self.out.last_mut() {
+                t.col -= 2;
+            }
+            self.pos = j;
+            return;
+        }
+
+        self.push(TokKind::Ident, start, i);
+        self.pos = i;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_single_tokens() {
+        let src = r####"let s = r#"has "quotes" and \ backslash"# ; end"####;
+        let toks = kinds(src);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.starts_with("r#\""));
+        assert!(strs[0].1.ends_with("\"#"));
+        // The trailing `end` ident survives — the raw string did not swallow it.
+        assert_eq!(idents(src), ["let", "s", "end"]);
+    }
+
+    #[test]
+    fn raw_string_with_two_hashes_ignores_single_hash_close() {
+        let src = r###"r##"inner "# still inside"## tail"###;
+        let toks = tokenize(src);
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[0].text(src), r###"r##"inner "# still inside"##"###);
+        assert_eq!(idents(src), ["tail"]);
+    }
+
+    #[test]
+    fn byte_and_c_string_prefixes() {
+        for src in [r#"b"bytes""#, r##"br#"raw bytes"#"##, r#"c"cstr""#] {
+            let toks = tokenize(src);
+            assert_eq!(toks.len(), 1, "{src}");
+            assert_eq!(toks[0].kind, TokKind::Str, "{src}");
+            assert_eq!(toks[0].text(src), src);
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "before /* outer /* inner */ still comment */ after";
+        assert_eq!(idents(src), ["before", "after"]);
+        let toks = tokenize(src);
+        let c: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::BlockComment)
+            .collect();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].text(src), "/* outer /* inner */ still comment */");
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; let q = '\\''; }";
+        let toks = tokenize(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(chars, ["'x'", "'\\n'", "'\\''"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let src = "&'static str; &'_ u8";
+        let toks = tokenize(src);
+        let l: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(l, ["'static", "'_"]);
+    }
+
+    #[test]
+    fn slashes_inside_string_literals_do_not_start_comments() {
+        let src = r#"let url = "https://example.com // not a comment"; trailing"#;
+        assert_eq!(idents(src), ["let", "url", "trailing"]);
+        assert!(tokenize(src).iter().all(|t| t.kind != TokKind::LineComment));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let src = r#""escaped \" quote // still string" ident"#;
+        let toks = tokenize(src);
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[0].text(src), r#""escaped \" quote // still string""#);
+        assert_eq!(idents(src), ["ident"]);
+    }
+
+    #[test]
+    fn line_comments_keep_text_and_spans() {
+        let src = "x // lint:allow(test-rule): reason\ny";
+        let toks = tokenize(src);
+        let c: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::LineComment)
+            .collect();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].text(src), "// lint:allow(test-rule): reason");
+        assert_eq!(c[0].line, 1);
+        // `y` lands on line 2.
+        assert_eq!(toks.last().map(|t| (t.line, t.col)), Some((2, 1)));
+    }
+
+    #[test]
+    fn raw_identifiers_compare_as_bare_names() {
+        let src = "let r#type = 1;";
+        assert_eq!(idents(src), ["let", "type"]);
+    }
+
+    #[test]
+    fn int_values_parse_across_radices_and_suffixes() {
+        let src = "11 0xFF 0o17 0b1010 1_000u64 12usize";
+        let vals: Vec<u64> = tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Int)
+            .filter_map(|t| t.int_value(src))
+            .collect();
+        assert_eq!(vals, [11, 255, 15, 10, 1000, 12]);
+    }
+
+    #[test]
+    fn range_dots_are_not_floats() {
+        let src = "for i in 0..13 { }";
+        let toks = tokenize(src);
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Int)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(ints, ["0", "13"]);
+        assert!(toks.iter().all(|t| t.kind != TokKind::Float));
+        // Floats still lex as floats.
+        let toks2 = tokenize("1.5e3 2f64");
+        assert!(toks2.iter().all(|t| t.kind == TokKind::Float));
+    }
+
+    #[test]
+    fn multiline_raw_string_keeps_line_numbers_honest() {
+        let src = "a\nr\"line\nline\nline\"\nb";
+        let toks = tokenize(src);
+        assert_eq!(toks[0].text(src), "a");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokKind::Str);
+        assert_eq!(toks.last().map(|t| (t.text(src), t.line)), Some(("b", 5)));
+    }
+
+    #[test]
+    fn unterminated_constructs_consume_rest_without_panicking() {
+        for src in ["\"never closed", "/* never closed", "r#\"never closed\""] {
+            let toks = tokenize(src);
+            assert!(!toks.is_empty(), "{src}");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! `paradyn-lint` binary: lint the workspace, print findings, exit
+//! nonzero when the gate is red.
+//!
+//! ```text
+//! cargo run --release -p paradyn-lint -- [--root DIR] [--baseline FILE] [--format human|json]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use paradyn_lint::engine::{run, Options};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: paradyn-lint [--root DIR] [--baseline FILE] [--format human|json]".to_string()
+}
+
+fn parse_args() -> Result<(Options, bool), String> {
+    // Default root: the workspace this binary was built from, so plain
+    // `cargo run -p paradyn-lint` lints the right tree from any cwd.
+    let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut baseline = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = PathBuf::from(args.next().ok_or_else(usage)?),
+            "--baseline" => baseline = Some(PathBuf::from(args.next().ok_or_else(usage)?)),
+            "--format" => {
+                json = match args.next().ok_or_else(usage)?.as_str() {
+                    "json" => true,
+                    "human" => false,
+                    other => return Err(format!("unknown format `{other}`; {}", usage())),
+                }
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`; {}", usage())),
+        }
+    }
+    let root = root
+        .canonicalize()
+        .map_err(|e| format!("bad --root {}: {e}", root.display()))?;
+    Ok((Options { root, baseline }, json))
+}
+
+fn main() -> ExitCode {
+    let (opts, json) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.human());
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("paradyn-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! The lint rules. Each rule is a pure function from an annotated source
+//! file (plus a little workspace context) to findings; the engine owns
+//! file walking, suppression, and baselining.
+//!
+//! Every rule guards an invariant that a tier-1 test already relies on at
+//! runtime (see DESIGN.md §7) — the lint makes the invariant hold for all
+//! seeds and configurations, not just the ones a test happens to exercise.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// One lint finding, before suppression/baseline filtering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (one of [`RULES`], or the meta-rules `suppression`
+    /// / `baseline` the engine itself emits).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Rule registry: `(name, what it enforces)`.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "wall-clock",
+        "Instant/SystemTime are forbidden outside crates/bench and crates/testbed: \
+         model and analysis code must use simulated time only, or replication is \
+         no longer bit-identical",
+    ),
+    (
+        "unordered-iteration",
+        "HashMap/HashSet are forbidden in non-test code of the simulation crates \
+         (core, des, analytic, workload, stats): iteration order varies between \
+         runs and would break deterministic replication",
+    ),
+    (
+        "panic-path",
+        "unwrap()/expect()/panic! are forbidden on the testbed decode/I-O paths \
+         and the DES hot path: a truncated record or full pipe must surface as an \
+         error, not abort the measurement",
+    ),
+    (
+        "rng-stream-id",
+        "RNG stream ids must come from the stream_kind registry; raw literal ids \
+         can silently collide with an allocated stream (fault streams 11-13) and \
+         correlate supposedly independent draws",
+    ),
+    (
+        "hermeticity",
+        "use/extern-crate paths must resolve to std or a workspace crate: the \
+         build is offline-hermetic and a registry dependency would break it \
+         (tests/hermetic.rs checks manifests; this rule checks sources)",
+    ),
+];
+
+/// Directories whose crates may read the wall clock: the bench harness and
+/// the real-machine testbed are the only components whose *job* is to
+/// measure real time.
+const WALL_CLOCK_ALLOWED: &[&str] = &["crates/bench/", "crates/testbed/"];
+
+/// Crates whose non-test code must not iterate unordered containers.
+const SIM_CRATES: &[&str] = &[
+    "crates/core/src/",
+    "crates/des/src/",
+    "crates/analytic/src/",
+    "crates/workload/src/",
+    "crates/stats/src/",
+];
+
+/// Files on the panic-sensitive paths: testbed record decode / pipe I-O,
+/// and the DES engine + calendar hot path. Test code in these files is
+/// covered too — a panicking test helper can mask the very error path it
+/// exists to exercise — with legacy sites held by the baseline ratchet.
+const PANIC_PATHS: &[&str] = &[
+    "crates/testbed/src/pipes.rs",
+    "crates/testbed/src/harness.rs",
+    "crates/des/src/calendar.rs",
+    "crates/des/src/engine.rs",
+];
+
+/// The documented fault-stream allocation (DESIGN.md §6): ids 11-13 are
+/// reserved for fault injection and must carry FAULT_* names, so an inert
+/// fault plan leaves every other stream untouched.
+pub const FAULT_STREAM_IDS: std::ops::RangeInclusive<u64> = 11..=13;
+
+/// First path segments always permitted in `use` paths.
+const STD_SEGMENTS: &[&str] = &["std", "core", "alloc", "crate", "self", "super"];
+
+/// One `const NAME: u64 = id;` entry of a `mod stream_kind { … }` registry.
+#[derive(Clone, Debug)]
+pub struct StreamIdEntry {
+    /// Constant name (e.g. `FAULT_CRASH`).
+    pub name: String,
+    /// Allocated stream id.
+    pub id: u64,
+    /// File that declares it.
+    pub path: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+}
+
+fn finding(
+    rule: &'static str,
+    file: &SourceFile,
+    line: u32,
+    col: u32,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        path: file.rel.clone(),
+        line,
+        col,
+        message,
+    }
+}
+
+/// `wall-clock`: ban `Instant` / `SystemTime` identifiers outside the two
+/// crates that legitimately measure real time.
+pub fn wall_clock(file: &SourceFile) -> Vec<Finding> {
+    if WALL_CLOCK_ALLOWED.iter().any(|p| file.rel.starts_with(p)) {
+        return vec![];
+    }
+    let mut out = vec![];
+    for (_, t) in file.sig_tokens() {
+        if t.kind == TokKind::Ident {
+            let s = t.text(&file.text);
+            if s == "Instant" || s == "SystemTime" {
+                out.push(finding(
+                    "wall-clock",
+                    file,
+                    t.line,
+                    t.col,
+                    format!(
+                        "wall-clock source `{s}` outside crates/bench and \
+                         crates/testbed; use simulated time (SimTime) instead"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `unordered-iteration`: ban `HashMap` / `HashSet` in non-test code of
+/// the simulation crates.
+pub fn unordered_iteration(file: &SourceFile) -> Vec<Finding> {
+    if !SIM_CRATES.iter().any(|p| file.rel.starts_with(p)) {
+        return vec![];
+    }
+    let mut out = vec![];
+    for (_, t) in file.sig_tokens() {
+        if t.kind == TokKind::Ident && !file.in_test_code(t.start) {
+            let s = t.text(&file.text);
+            if s == "HashMap" || s == "HashSet" {
+                out.push(finding(
+                    "unordered-iteration",
+                    file,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{s}` in simulation-crate non-test code; iteration order \
+                         is nondeterministic — use BTreeMap/BTreeSet or a Vec"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `panic-path`: ban `.unwrap()` / `.expect(` / `panic!` in the files on
+/// the decode/I-O and DES hot paths.
+pub fn panic_path(file: &SourceFile) -> Vec<Finding> {
+    if !PANIC_PATHS.contains(&file.rel.as_str()) {
+        return vec![];
+    }
+    let mut out = vec![];
+    for (n, t) in file.sig_tokens() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let s = t.text(&file.text);
+        let hit = match s {
+            "unwrap" | "expect" => {
+                // Method-call position: `.unwrap(` / `.expect(`.
+                n > 0
+                    && file.sig_is_punct(n - 1, b'.')
+                    && file.sig_is_punct(n + 1, b'(')
+            }
+            "panic" => file.sig_is_punct(n + 1, b'!'),
+            _ => false,
+        };
+        if hit {
+            out.push(finding(
+                "panic-path",
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "`{s}` on a panic-sensitive path; propagate the error \
+                     (Result/`?`) or justify with lint:allow(panic-path)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Collect `mod stream_kind { const NAME: u64 = <int>; … }` registries.
+pub fn collect_stream_registry(file: &SourceFile) -> Vec<StreamIdEntry> {
+    let mut out = vec![];
+    let mut n = 0;
+    let count = file.sig.len();
+    while n < count {
+        if !(file.sig_is_ident(n, "mod") && file.sig_is_ident(n + 1, "stream_kind")) {
+            n += 1;
+            continue;
+        }
+        // Walk the registry body.
+        let mut m = n + 2;
+        if !file.sig_is_punct(m, b'{') {
+            n += 2;
+            continue;
+        }
+        let mut depth = 0usize;
+        while m < count {
+            if file.sig_is_punct(m, b'{') {
+                depth += 1;
+            } else if file.sig_is_punct(m, b'}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if file.sig_is_ident(m, "const") {
+                // const NAME : u64 = <int>
+                let name_tok = file.sig_tok(m + 1);
+                let val_tok = file.sig_tok(m + 5);
+                if let (Some(name), Some(val)) = (name_tok, val_tok) {
+                    if name.kind == TokKind::Ident && val.kind == TokKind::Int {
+                        if let Some(id) = val.int_value(&file.text) {
+                            out.push(StreamIdEntry {
+                                name: name.text(&file.text).to_string(),
+                                id,
+                                path: file.rel.clone(),
+                                line: name.line,
+                            });
+                        }
+                    }
+                }
+            }
+            m += 1;
+        }
+        n = m + 1;
+    }
+    out
+}
+
+/// `rng-stream-id`, per-file part: flag raw integer-literal arguments to
+/// `.stream(…)` / `.stream3(…)` in non-test code — stream ids must be
+/// named constants from the registry so collisions are visible in one
+/// place.
+pub fn rng_stream_literals(file: &SourceFile, registry: &[StreamIdEntry]) -> Vec<Finding> {
+    let mut out = vec![];
+    for (n, t) in file.sig_tokens() {
+        if t.kind != TokKind::Ident || file.in_test_code(t.start) {
+            continue;
+        }
+        let s = t.text(&file.text);
+        if !(s == "stream" || s == "stream3") {
+            continue;
+        }
+        if !(n > 0 && file.sig_is_punct(n - 1, b'.') && file.sig_is_punct(n + 1, b'(')) {
+            continue;
+        }
+        let Some(arg) = file.sig_tok(n + 2) else {
+            continue;
+        };
+        if arg.kind != TokKind::Int {
+            continue;
+        }
+        let id = arg.int_value(&file.text);
+        let clash = id.and_then(|v| registry.iter().find(|e| e.id == v));
+        let mut msg = format!(
+            "raw literal stream id in `.{s}({})` bypasses the stream_kind \
+             registry",
+            arg.text(&file.text)
+        );
+        if let Some(e) = clash {
+            msg.push_str(&format!(
+                " and collides with allocated stream {}::{} ({})",
+                "stream_kind", e.name, e.id
+            ));
+        }
+        msg.push_str("; allocate a named constant instead");
+        out.push(finding("rng-stream-id", file, arg.line, arg.col, msg));
+    }
+    out
+}
+
+/// `rng-stream-id`, cross-file part: duplicate ids inside the collected
+/// registries, and drift from the documented fault-stream allocation.
+pub fn rng_registry_collisions(registry: &[StreamIdEntry]) -> Vec<Finding> {
+    let mut out = vec![];
+    for (i, e) in registry.iter().enumerate() {
+        if let Some(prev) = registry[..i].iter().find(|p| p.id == e.id) {
+            out.push(Finding {
+                rule: "rng-stream-id",
+                path: e.path.clone(),
+                line: e.line,
+                col: 1,
+                message: format!(
+                    "stream id {} of `{}` collides with `{}` ({}:{}); colliding \
+                     streams yield correlated draws",
+                    e.id, e.name, prev.name, prev.path, prev.line
+                ),
+            });
+        }
+        let in_fault_range = FAULT_STREAM_IDS.contains(&e.id);
+        let fault_named = e.name.starts_with("FAULT_");
+        if in_fault_range != fault_named {
+            out.push(Finding {
+                rule: "rng-stream-id",
+                path: e.path.clone(),
+                line: e.line,
+                col: 1,
+                message: format!(
+                    "stream `{}` = {} violates the documented allocation: ids \
+                     {}-{} are reserved for FAULT_* streams (DESIGN.md §6) so an \
+                     inert fault plan stays bitwise-inert",
+                    e.name,
+                    e.id,
+                    FAULT_STREAM_IDS.start(),
+                    FAULT_STREAM_IDS.end()
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `hermeticity`: every `use` / `extern crate` first segment must be std,
+/// a path keyword, a workspace crate, or an item declared in the same
+/// file — Rust 2018 uniform paths let `use bounds::X;` follow a local
+/// `mod bounds;`, and `use DetailedState as S;` alias a local enum.
+/// `crate_names` comes from the workspace manifests (underscore form).
+pub fn hermeticity(file: &SourceFile, crate_names: &[String]) -> Vec<Finding> {
+    // Names introduced by item declarations anywhere in this file.
+    const DECL_KEYWORDS: &[&str] = &["mod", "enum", "struct", "trait", "type", "union"];
+    let mut local_items = vec![];
+    for (n, t) in file.sig_tokens() {
+        if t.kind == TokKind::Ident && DECL_KEYWORDS.contains(&t.text(&file.text)) {
+            if let Some(name) = file.sig_tok(n + 1) {
+                if name.kind == TokKind::Ident {
+                    local_items.push(name.text(&file.text).to_string());
+                }
+            }
+        }
+    }
+    let allowed = |seg: &str| {
+        STD_SEGMENTS.contains(&seg)
+            || crate_names.iter().any(|c| c == seg)
+            || local_items.iter().any(|m| m == seg)
+    };
+    let mut out = vec![];
+    for (n, t) in file.sig_tokens() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let s = t.text(&file.text);
+        let (site, seg_tok) = if s == "use" {
+            // First path segment: skip a leading `$` (macro `$crate`) or
+            // leading `::`; a brace group (`use {a, b}`) is not used in
+            // this workspace and is skipped conservatively.
+            let mut m = n + 1;
+            while file.sig_is_punct(m, b'$') || file.sig_is_punct(m, b':') {
+                m += 1;
+            }
+            (t, file.sig_tok(m))
+        } else if s == "extern" && file.sig_is_ident(n + 1, "crate") {
+            (t, file.sig_tok(n + 2))
+        } else {
+            continue;
+        };
+        let Some(seg) = seg_tok else { continue };
+        if seg.kind != TokKind::Ident {
+            continue;
+        }
+        let seg_text = seg.text(&file.text);
+        if !allowed(seg_text) {
+            out.push(finding(
+                "hermeticity",
+                file,
+                site.line,
+                site.col,
+                format!(
+                    "`{seg_text}` is not std or a workspace crate; the build is \
+                     offline-hermetic — vendor the functionality in-tree instead"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Run every per-file rule on one file.
+pub fn run_file_rules(
+    file: &SourceFile,
+    registry: &[StreamIdEntry],
+    crate_names: &[String],
+) -> Vec<Finding> {
+    let mut out = wall_clock(file);
+    out.extend(unordered_iteration(file));
+    out.extend(panic_path(file));
+    out.extend(rng_stream_literals(file, registry));
+    out.extend(hermeticity(file, crate_names));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel, src.to_string())
+    }
+
+    fn names() -> Vec<String> {
+        ["paradyn_des", "paradyn_stats", "paradyn_isim"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn wall_clock_flags_sim_code_but_not_bench_or_testbed() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        assert_eq!(wall_clock(&file("crates/des/src/x.rs", src)).len(), 2);
+        assert_eq!(wall_clock(&file("crates/bench/src/x.rs", src)).len(), 0);
+        assert_eq!(wall_clock(&file("crates/testbed/src/x.rs", src)).len(), 0);
+        // Mentions in comments and strings never count.
+        let masked = "// Instant::now is banned\nlet s = \"SystemTime\";\n";
+        assert_eq!(wall_clock(&file("crates/des/src/x.rs", masked)).len(), 0);
+    }
+
+    #[test]
+    fn unordered_iteration_skips_tests_and_other_crates() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod tests { use std::collections::HashSet; }\n";
+        let f = file("crates/core/src/x.rs", src);
+        let hits = unordered_iteration(&f);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 1);
+        assert_eq!(unordered_iteration(&file("crates/lint/src/x.rs", src)).len(), 0);
+    }
+
+    #[test]
+    fn panic_path_matches_calls_not_similar_names() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); \
+                   z.unwrap_or(3); let expected = 1; map.expect_none; }\n";
+        let hits = panic_path(&file("crates/testbed/src/pipes.rs", src));
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert_eq!(panic_path(&file("crates/testbed/src/kernels.rs", src)).len(), 0);
+    }
+
+    #[test]
+    fn stream_registry_collects_and_flags_collisions() {
+        let src = "mod stream_kind {\n    pub const A: u64 = 1;\n    pub const B: u64 = 1;\n    pub const FAULT_X: u64 = 11;\n    pub const ROGUE: u64 = 12;\n}\n";
+        let f = file("crates/core/src/model/mod.rs", src);
+        let reg = collect_stream_registry(&f);
+        assert_eq!(reg.len(), 4);
+        let hits = rng_registry_collisions(&reg);
+        // B collides with A; ROGUE sits in the fault range without the name.
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits[0].message.contains("collides"));
+        assert!(hits[1].message.contains("FAULT_"));
+    }
+
+    #[test]
+    fn raw_literal_stream_ids_flagged_outside_tests() {
+        let reg = vec![StreamIdEntry {
+            name: "FAULT_CRASH".into(),
+            id: 11,
+            path: "crates/core/src/model/mod.rs".into(),
+            line: 1,
+        }];
+        let src = "fn f(s: &Streams) { s.stream(11); s.stream(99); s.stream(id); }\n\
+                   #[cfg(test)]\nmod tests { fn t(s: &Streams) { s.stream(11); } }\n";
+        let hits = rng_stream_literals(&file("crates/des/src/x.rs", src), &reg);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits[0].message.contains("FAULT_CRASH"));
+        assert!(!hits[1].message.contains("collides"));
+    }
+
+    #[test]
+    fn hermeticity_allows_std_and_workspace_only() {
+        let src = "use std::io;\nuse core::fmt;\nuse crate::x;\nuse self::y;\nuse super::z;\nuse paradyn_des::Sim;\nuse serde::Serialize;\nextern crate rand;\n";
+        let hits = hermeticity(&file("crates/des/src/x.rs", src), &names());
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits[0].message.contains("serde"));
+        assert!(hits[1].message.contains("rand"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Per-file source model: token stream, test-code regions, and
+//! `lint:allow` suppression comments.
+
+use crate::lexer::{tokenize, TokKind, Token};
+
+/// A suppression comment: `// lint:allow(<rule>): <justification>`.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The rule being suppressed.
+    pub rule: String,
+    /// 1-based line the comment sits on. The suppression covers findings
+    /// on this line and on the next line (so it can sit above the site).
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+    /// Whether a non-empty justification follows the rule name. Allows
+    /// without justification are themselves findings.
+    pub justified: bool,
+}
+
+/// One workspace source file, lexed and annotated.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Full source text.
+    pub text: String,
+    /// Every token, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of significant (non-comment) tokens.
+    pub sig: Vec<usize>,
+    /// Byte ranges of test-only code: `#[cfg(test)]` mod/fn/impl bodies
+    /// and `#[test]` functions.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Whole file is test code (under `tests/`, or a `tests.rs` out-lined
+    /// from a `#[cfg(test)] mod tests;`).
+    pub is_test_file: bool,
+    /// Suppression comments found in the file.
+    pub allows: Vec<Allow>,
+}
+
+impl SourceFile {
+    /// Lex and annotate one file.
+    pub fn parse(rel: &str, text: String) -> SourceFile {
+        let tokens = tokenize(&text);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let test_regions = find_test_regions(&text, &tokens, &sig);
+        let allows = find_allows(&text, &tokens);
+        let is_test_file = rel.starts_with("tests/")
+            || rel.ends_with("/tests.rs")
+            || rel.contains("/tests/");
+        SourceFile {
+            rel: rel.to_string(),
+            text,
+            tokens,
+            sig,
+            test_regions,
+            is_test_file,
+            allows,
+        }
+    }
+
+    /// Is the byte offset inside test-only code (or a test-only file)?
+    pub fn in_test_code(&self, byte: usize) -> bool {
+        self.is_test_file
+            || self
+                .test_regions
+                .iter()
+                .any(|&(s, e)| byte >= s && byte < e)
+    }
+
+    /// Iterate significant tokens as `(position-in-sig, &Token)`.
+    pub fn sig_tokens(&self) -> impl Iterator<Item = (usize, &Token)> {
+        self.sig.iter().enumerate().map(|(i, &ti)| (i, &self.tokens[ti]))
+    }
+
+    /// The `n`-th significant token, if any.
+    pub fn sig_tok(&self, n: usize) -> Option<&Token> {
+        self.sig.get(n).map(|&ti| &self.tokens[ti])
+    }
+
+    /// Does the significant token at sig-position `n` equal an identifier
+    /// with this exact text?
+    pub fn sig_is_ident(&self, n: usize, text: &str) -> bool {
+        self.sig_tok(n)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text(&self.text) == text)
+    }
+
+    /// Does the significant token at sig-position `n` equal this punct?
+    pub fn sig_is_punct(&self, n: usize, p: u8) -> bool {
+        self.sig_tok(n).is_some_and(|t| t.kind == TokKind::Punct(p))
+    }
+}
+
+/// Find `#[cfg(test)]`-gated item bodies and `#[test]` functions by token
+/// pattern + brace matching. Over-approximation is safe: marking extra code
+/// as "test" only relaxes rules that skip tests, never creates findings.
+fn find_test_regions(text: &str, tokens: &[Token], sig: &[usize]) -> Vec<(usize, usize)> {
+    let tok = |n: usize| -> Option<&Token> { sig.get(n).map(|&ti| &tokens[ti]) };
+    let is_punct = |n: usize, p: u8| tok(n).is_some_and(|t| t.kind == TokKind::Punct(p));
+
+    let mut regions = vec![];
+    let mut n = 0;
+    while n < sig.len() {
+        if !(is_punct(n, b'#') && is_punct(n + 1, b'[')) {
+            n += 1;
+            continue;
+        }
+        // Scan the attribute body to its matching `]`.
+        let attr_start = n;
+        let mut depth = 0usize;
+        let mut m = n + 1;
+        let mut saw_test = false;
+        let mut first_ident: Option<String> = None;
+        while let Some(t) = tok(m) {
+            match t.kind {
+                TokKind::Punct(b'[') => depth += 1,
+                TokKind::Punct(b']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident => {
+                    let s = t.text(text);
+                    if first_ident.is_none() {
+                        first_ident = Some(s.to_string());
+                    }
+                    if s == "test" {
+                        saw_test = true;
+                    }
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        let attr_end = m; // sig index of the closing `]`
+        let is_test_attr = saw_test
+            && matches!(first_ident.as_deref(), Some("test") | Some("cfg"));
+        if !is_test_attr {
+            n = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut k = attr_end + 1;
+        while is_punct(k, b'#') && is_punct(k + 1, b'[') {
+            let mut d = 0usize;
+            let mut j = k + 1;
+            while let Some(t) = tok(j) {
+                match t.kind {
+                    TokKind::Punct(b'[') => d += 1,
+                    TokKind::Punct(b']') => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            k = j + 1;
+        }
+        // The item: find its first `{` (body start) or `;` (out-lined —
+        // e.g. `#[cfg(test)] mod tests;` — nothing to mark here).
+        let mut j = k;
+        let body_open = loop {
+            match tok(j) {
+                None => break None,
+                Some(t) if t.kind == TokKind::Punct(b';') => break None,
+                Some(t) if t.kind == TokKind::Punct(b'{') => break Some(j),
+                Some(_) => j += 1,
+            }
+        };
+        let Some(open) = body_open else {
+            n = k;
+            continue;
+        };
+        // Match braces to the body's close.
+        let mut d = 0usize;
+        let mut c = open;
+        let close = loop {
+            match tok(c) {
+                None => break c.saturating_sub(1),
+                Some(t) if t.kind == TokKind::Punct(b'{') => {
+                    d += 1;
+                    c += 1;
+                }
+                Some(t) if t.kind == TokKind::Punct(b'}') => {
+                    d -= 1;
+                    if d == 0 {
+                        break c;
+                    }
+                    c += 1;
+                }
+                Some(_) => c += 1,
+            }
+        };
+        let start_byte = tok(attr_start).map_or(0, |t| t.start);
+        let end_byte = tok(close).map_or(text.len(), |t| t.end);
+        regions.push((start_byte, end_byte));
+        n = close + 1;
+    }
+    regions
+}
+
+/// Extract `lint:allow(<rule>): <justification>` suppressions from line
+/// comments.
+fn find_allows(text: &str, tokens: &[Token]) -> Vec<Allow> {
+    let mut out = vec![];
+    for t in tokens {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = t.text(text);
+        // Doc comments (`///`, `//!`) are prose, not directives — only a
+        // plain `//` comment can suppress.
+        if body.starts_with("///") || body.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = body.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &body[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let justified = after
+            .strip_prefix(':')
+            .map(str::trim)
+            .is_some_and(|j| !j.is_empty());
+        out.push(Allow {
+            rule,
+            line: t.line,
+            col: t.col,
+            justified,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_body_is_a_test_region() {
+        let src = "pub fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\npub fn also_real() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_string());
+        assert_eq!(f.test_regions.len(), 1);
+        let helper_at = src.find("helper").unwrap();
+        assert!(f.in_test_code(helper_at));
+        assert!(!f.in_test_code(src.find("real").unwrap()));
+        assert!(!f.in_test_code(src.find("also_real").unwrap()));
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs_is_a_test_region() {
+        let src = "#[test]\n#[ignore]\nfn slow_case() { body(); }\nfn prod() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_string());
+        assert!(f.in_test_code(src.find("body").unwrap()));
+        assert!(!f.in_test_code(src.find("prod").unwrap()));
+    }
+
+    #[test]
+    fn outlined_cfg_test_mod_marks_nothing_locally() {
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_string());
+        assert!(f.test_regions.is_empty());
+        assert!(!f.in_test_code(src.find("prod").unwrap()));
+    }
+
+    #[test]
+    fn tests_rs_file_is_all_test_code() {
+        let f = SourceFile::parse("crates/core/src/model/tests.rs", "fn x() {}".into());
+        assert!(f.in_test_code(0));
+        let f2 = SourceFile::parse("tests/determinism.rs", "fn x() {}".into());
+        assert!(f2.in_test_code(0));
+    }
+
+    #[test]
+    fn allow_comments_parse_with_and_without_justification() {
+        let src = "\
+foo(); // lint:allow(panic-path): invariant — len checked above
+bar(); // lint:allow(wall-clock)
+// lint:allow(hermeticity):   \n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_string());
+        assert_eq!(f.allows.len(), 3);
+        assert!(f.allows[0].justified);
+        assert_eq!(f.allows[0].rule, "panic-path");
+        assert_eq!(f.allows[0].line, 1);
+        assert!(!f.allows[1].justified);
+        assert!(!f.allows[2].justified, "blank justification does not count");
+    }
+
+    #[test]
+    fn allow_inside_string_literal_is_not_a_suppression() {
+        let src = "let s = \"// lint:allow(panic-path): fake\";\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_string());
+        assert!(f.allows.is_empty());
+    }
+}

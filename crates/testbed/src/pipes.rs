@@ -255,53 +255,56 @@ mod tests {
     }
 
     #[test]
-    fn truncated_record_is_an_error_not_a_panic() {
+    fn truncated_record_is_an_error_not_a_panic() -> io::Result<()> {
         // A writer killed mid-record leaves a partial record in the pipe;
         // both readers must surface UnexpectedEof rather than panic.
-        let (w, mut r) = sample_pipe().unwrap();
+        let (w, mut r) = sample_pipe()?;
         let mut raw = w.w;
-        raw.write_all(&[0xAB; RECORD_BYTES - 5]).unwrap();
+        raw.write_all(&[0xAB; RECORD_BYTES - 5])?;
         drop(raw);
         let err = r.read_record().unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
 
-        let (w, r) = sample_pipe().unwrap();
+        let (w, r) = sample_pipe()?;
         let mut raw = w.w;
         let rec = SampleRecord {
             seq: 1,
             gen_ns: 2,
             value: 3,
         };
-        raw.write_all(&rec.encode()).unwrap();
-        raw.write_all(&[0xCD; 7]).unwrap();
+        raw.write_all(&rec.encode())?;
+        raw.write_all(&[0xCD; 7])?;
         drop(raw);
         let mut br = BulkReader::new(r);
-        assert_eq!(br.next_record().unwrap(), Some(rec));
+        assert_eq!(br.next_record()?, Some(rec));
         let err = br.next_record().unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        Ok(())
     }
 
     #[test]
-    fn single_records_cross_the_pipe() {
-        let (mut w, mut r) = sample_pipe().unwrap();
+    fn single_records_cross_the_pipe() -> io::Result<()> {
+        let (mut w, mut r) = sample_pipe()?;
         for i in 0..10 {
             w.write_record(&SampleRecord {
                 seq: i,
                 gen_ns: i * 100,
                 value: i * 7,
-            })
-            .unwrap();
+            })?;
         }
         for i in 0..10 {
-            let rec = r.read_record().unwrap().unwrap();
+            // The writer wrote 10 records and is still open, so the stream
+            // cannot be at EOF here; `None` would be a test failure anyway.
+            let rec = r.read_record()?.unwrap();
             assert_eq!(rec.seq, i);
             assert_eq!(rec.value, i * 7);
         }
+        Ok(())
     }
 
     #[test]
-    fn batch_write_is_read_as_individual_records() {
-        let (mut w, mut r) = sample_pipe().unwrap();
+    fn batch_write_is_read_as_individual_records() -> io::Result<()> {
+        let (mut w, mut r) = sample_pipe()?;
         let batch: Vec<SampleRecord> = (0..32)
             .map(|i| SampleRecord {
                 seq: i,
@@ -309,58 +312,60 @@ mod tests {
                 value: i,
             })
             .collect();
-        w.write_batch(&batch).unwrap();
+        w.write_batch(&batch)?;
         drop(w);
         let mut n = 0;
-        while let Some(rec) = r.read_record().unwrap() {
+        while let Some(rec) = r.read_record()? {
             assert_eq!(rec.seq, n);
             n += 1;
         }
         assert_eq!(n, 32);
+        Ok(())
     }
 
     #[test]
-    fn eof_after_all_writers_closed() {
-        let (w, mut r) = sample_pipe().unwrap();
-        let w2 = w.try_clone().unwrap();
+    fn eof_after_all_writers_closed() -> io::Result<()> {
+        let (w, mut r) = sample_pipe()?;
+        let w2 = w.try_clone()?;
         drop(w);
         let mut w2 = w2;
         w2.write_record(&SampleRecord {
             seq: 1,
             gen_ns: 2,
             value: 3,
-        })
-        .unwrap();
+        })?;
         drop(w2);
-        assert!(r.read_record().unwrap().is_some());
-        assert!(r.read_record().unwrap().is_none());
+        assert!(r.read_record()?.is_some());
+        assert!(r.read_record()?.is_none());
+        Ok(())
     }
 
     #[test]
-    fn cross_thread_streaming() {
-        let (mut w, mut r) = sample_pipe().unwrap();
-        let producer = thread::spawn(move || {
+    fn cross_thread_streaming() -> io::Result<()> {
+        let (mut w, mut r) = sample_pipe()?;
+        let producer = thread::spawn(move || -> io::Result<()> {
             for i in 0..5_000u64 {
                 w.write_record(&SampleRecord {
                     seq: i,
                     gen_ns: i,
                     value: i * i,
-                })
-                .unwrap();
+                })?;
             }
+            Ok(())
         });
         let mut expected = 0u64;
-        while let Some(rec) = r.read_record().unwrap() {
+        while let Some(rec) = r.read_record()? {
             assert_eq!(rec.seq, expected);
             expected += 1;
         }
-        producer.join().unwrap();
+        producer.join().unwrap()?;
         assert_eq!(expected, 5_000);
+        Ok(())
     }
 
     #[test]
-    fn bulk_reader_parses_batches_with_few_syscalls() {
-        let (mut w, r) = sample_pipe().unwrap();
+    fn bulk_reader_parses_batches_with_few_syscalls() -> io::Result<()> {
+        let (mut w, r) = sample_pipe()?;
         let batch: Vec<SampleRecord> = (0..64)
             .map(|i| SampleRecord {
                 seq: i,
@@ -368,68 +373,70 @@ mod tests {
                 value: 3 * i,
             })
             .collect();
-        w.write_batch(&batch).unwrap();
+        w.write_batch(&batch)?;
         drop(w);
         let mut br = BulkReader::new(r);
         let mut n = 0u64;
-        while let Some(rec) = br.next_record().unwrap() {
+        while let Some(rec) = br.next_record()? {
             assert_eq!(rec.seq, n);
             n += 1;
         }
         assert_eq!(n, 64);
         // The whole batch arrived in one or two read calls, not 64.
         assert!(br.read_syscalls() <= 2, "refills={}", br.read_syscalls());
+        Ok(())
     }
 
     #[test]
-    fn bulk_reader_handles_record_straddling_buffer_boundary() {
+    fn bulk_reader_handles_record_straddling_buffer_boundary() -> io::Result<()> {
         // 4096 / 24 is not an integer, so with >170 records a record will
         // straddle the refill boundary.
-        let (mut w, r) = sample_pipe().unwrap();
-        let writer = thread::spawn(move || {
+        let (mut w, r) = sample_pipe()?;
+        let writer = thread::spawn(move || -> io::Result<()> {
             for i in 0..500u64 {
                 w.write_record(&SampleRecord {
                     seq: i,
                     gen_ns: i,
                     value: i,
-                })
-                .unwrap();
+                })?;
             }
+            Ok(())
         });
         let mut br = BulkReader::new(r);
         let mut n = 0u64;
-        while let Some(rec) = br.next_record().unwrap() {
+        while let Some(rec) = br.next_record()? {
             assert_eq!(rec.seq, n);
             n += 1;
         }
-        writer.join().unwrap();
+        writer.join().unwrap()?;
         assert_eq!(n, 500);
+        Ok(())
     }
 
     #[test]
-    fn full_pipe_blocks_writer_until_drained() {
+    fn full_pipe_blocks_writer_until_drained() -> io::Result<()> {
         // A Linux pipe holds 64 KiB; fill it and verify the writer blocks
         // until the reader drains.
-        let (mut w, mut r) = sample_pipe().unwrap();
-        let writer = thread::spawn(move || {
+        let (mut w, mut r) = sample_pipe()?;
+        let writer = thread::spawn(move || -> io::Result<u64> {
             let n = (64 * 1024 / RECORD_BYTES) as u64 + 100;
             for i in 0..n {
                 w.write_record(&SampleRecord {
                     seq: i,
                     gen_ns: 0,
                     value: 0,
-                })
-                .unwrap();
+                })?;
             }
-            n
+            Ok(n)
         });
         // Give the writer time to hit the full pipe.
         thread::sleep(std::time::Duration::from_millis(50));
         let mut read = 0u64;
-        while let Some(_rec) = r.read_record().unwrap() {
+        while let Some(_rec) = r.read_record()? {
             read += 1;
         }
-        let written = writer.join().unwrap();
+        let written = writer.join().unwrap()?;
         assert_eq!(read, written);
+        Ok(())
     }
 }

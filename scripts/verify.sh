@@ -11,6 +11,42 @@ cargo build --release --offline
 echo "== cargo test -q --offline =="
 cargo test -q --offline
 
+echo "== paradyn-lint (determinism / no-panic / hermeticity gate) =="
+lint_json="$(mktemp)"
+lint_t0="$(date +%s%N)"
+cargo run --release --offline -q -p paradyn-lint -- --format json > "$lint_json"
+lint_t1="$(date +%s%N)"
+lint_ms="$(( (lint_t1 - lint_t0) / 1000000 ))"
+echo "lint pass took ${lint_ms} ms"
+if [ "$lint_ms" -ge 2000 ]; then
+  echo "verify: FAIL — lint pass exceeded the 2 s budget" >&2
+  exit 1
+fi
+grep -q '"clean": true' "$lint_json" || {
+  echo "verify: FAIL — lint JSON did not report clean" >&2
+  exit 1
+}
+rm -f "$lint_json"
+
+echo "== paradyn-lint mutation self-check (seeded violation must go red) =="
+mut_dir="$(mktemp -d)"
+trap 'rm -rf "$mut_dir"' EXIT
+cp Cargo.toml lint-baseline.txt "$mut_dir"/
+cp -r crates "$mut_dir"/crates
+printf '\npub fn sneaky_now() -> std::time::Instant { std::time::Instant::now() }\n' \
+  >> "$mut_dir/crates/des/src/lib.rs"
+set +e
+cargo run --release --offline -q -p paradyn-lint -- \
+  --root "$mut_dir" --format json > /dev/null 2>&1
+mut_rc=$?
+set -e
+# Exit 1 is "findings"; 0 would mean the gate is blind, 2 an engine error.
+if [ "$mut_rc" -ne 1 ]; then
+  echo "verify: FAIL — mutation self-check expected exit 1, got $mut_rc" >&2
+  exit 1
+fi
+echo "mutation self-check: seeded violation correctly rejected"
+
 echo "== fault-injection suite =="
 cargo test -q --offline --test fault_injection
 

@@ -17,7 +17,7 @@ fn workspace_manifests() -> Vec<PathBuf> {
         .filter(|p| p.exists())
         .collect();
     entries.sort();
-    assert_eq!(entries.len(), 7, "expected the 7 member crates");
+    assert_eq!(entries.len(), 8, "expected the 8 member crates");
     out.extend(entries);
     out
 }
@@ -89,5 +89,37 @@ fn workspace_dependency_table_is_path_only() {
             );
         }
     }
-    assert_eq!(seen, 6, "expected exactly the 6 member-crate entries");
+    assert_eq!(seen, 8, "expected exactly the 8 member-crate entries");
+}
+
+/// The manifest-level guard above and paradyn-lint's source-level
+/// `hermeticity` rule must agree on what the workspace contains: every
+/// member crate the manifests declare is in the lint's allowlist, and the
+/// lint allows nothing beyond those members (plus the root package).
+#[test]
+fn lint_allowlist_matches_manifest_guard() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let allow = paradyn_lint::workspace_crate_allowlist(root).expect("allowlist");
+    for manifest in workspace_manifests().iter().skip(1) {
+        let toml = std::fs::read_to_string(manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        let name = toml
+            .lines()
+            .map(str::trim)
+            .find_map(|l| l.strip_prefix("name = "))
+            .unwrap_or_else(|| panic!("{}: no package name", manifest.display()))
+            .trim_matches('"')
+            .replace('-', "_");
+        assert!(
+            allow.contains(&name),
+            "member `{name}` missing from the lint's hermeticity allowlist"
+        );
+    }
+    // 8 members + the root `paradyn-isim` package; nothing else may be
+    // importable at the source level.
+    assert_eq!(
+        allow.len(),
+        9,
+        "lint allowlist lists a crate the manifests do not declare: {allow:?}"
+    );
 }
