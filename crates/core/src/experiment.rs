@@ -12,8 +12,9 @@
 
 use crate::config::SimConfig;
 use crate::metrics::SimMetrics;
-use crate::model::build;
-use paradyn_des::{SimTime, Streams};
+use crate::model::snapshot::warm_snapshot;
+use crate::model::{build, RoccModel};
+use paradyn_des::{CalendarKind, Sim, SimTime, SnapError, Streams};
 use paradyn_stats::{mean_ci, MeanCi};
 
 /// Run one simulation to its configured horizon.
@@ -99,6 +100,72 @@ pub fn run_many(cfgs: &[SimConfig], threads: usize) -> Vec<SimMetrics> {
     out.into_iter()
         .map(|m| m.expect("scoped worker completed"))
         .collect()
+}
+
+/// Run `reps` forked replications of `cfg`: warm one simulation to
+/// `warmup_s`, snapshot it, then restore the snapshot once per replication
+/// and perturb each copy's random streams with
+/// [`replication_seed`]`(cfg.seed, rep)` before continuing to the horizon.
+///
+/// The warmup transient is simulated **once** instead of once per
+/// replication; each fork's metrics are bit-identical to
+/// [`run_perturbed_from_zero`] with the same warmup and replication index,
+/// at any `threads` value (asserted by `tests/snapshot_equivalence.rs`).
+///
+/// # Panics
+/// Panics on an invalid configuration.
+pub fn run_forked(
+    cfg: &SimConfig,
+    warmup_s: f64,
+    reps: usize,
+    threads: usize,
+) -> Result<Vec<SimMetrics>, SnapError> {
+    let kind = CalendarKind::default_from_env();
+    let snap = warm_snapshot(cfg, SimTime::from_secs_f64(warmup_s), kind)?;
+    let horizon = SimTime::from_secs_f64(cfg.duration_s);
+    let salts: Vec<u64> = (0..reps).map(|r| replication_seed(cfg.seed, r)).collect();
+    let work = |salt: u64| -> Result<SimMetrics, SnapError> {
+        let mut sim = Sim::restore(RoccModel::new(cfg.clone()), kind, &snap)?;
+        sim.model.perturb_streams(salt);
+        sim.run_until(horizon);
+        let events = sim.executed_events();
+        Ok(sim.model.metrics(horizon - SimTime::ZERO, events))
+    };
+    let threads = threads.max(1).min(reps.max(1));
+    if threads == 1 {
+        return salts.iter().map(|&s| work(s)).collect();
+    }
+    let mut out: Vec<Option<Result<SimMetrics, SnapError>>> = (0..reps).map(|_| None).collect();
+    let chunk = reps.div_ceil(threads);
+    let work = &work;
+    std::thread::scope(|s| {
+        for (salt_chunk, out_chunk) in salts.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (&salt, slot) in salt_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(work(salt));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.expect("scoped worker completed"))
+        .collect()
+}
+
+/// Reference oracle for [`run_forked`]: build `cfg` from zero, run to the
+/// warmup point, apply the same stream perturbation as replication `rep` of
+/// the forked path, and continue to the horizon — no snapshot involved.
+///
+/// # Panics
+/// Panics on an invalid configuration.
+pub fn run_perturbed_from_zero(cfg: &SimConfig, warmup_s: f64, rep: usize) -> SimMetrics {
+    let mut sim = build(cfg);
+    sim.run_until(SimTime::from_secs_f64(warmup_s));
+    sim.model.perturb_streams(replication_seed(cfg.seed, rep));
+    let horizon = SimTime::from_secs_f64(cfg.duration_s);
+    sim.run_until(horizon);
+    let events = sim.executed_events();
+    sim.model.metrics(horizon - SimTime::ZERO, events)
 }
 
 /// Run `reps` replications with distinct seeds derived from `cfg.seed`,

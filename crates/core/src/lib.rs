@@ -43,10 +43,11 @@ pub use config::{
     LinkFaults, SampleTiming, SimConfig,
 };
 pub use experiment::{
-    default_threads, replication_seed, run, run_many, run_replicated, run_replicated_threads,
-    Replicated,
+    default_threads, replication_seed, run, run_forked, run_many, run_perturbed_from_zero,
+    run_replicated, run_replicated_threads, Replicated,
 };
 pub use metrics::SimMetrics;
+pub use model::snapshot::{fork_n, warm_snapshot};
 pub use model::{build, build_with_calendar, RoccModel};
 pub use pipe::{Deposit, OverflowPolicy, Pipe};
 pub use validate::{validate, validation_config, ValidationResult, TABLE3};

@@ -17,6 +17,7 @@
 mod app;
 mod background;
 mod daemon;
+pub mod snapshot;
 #[cfg(test)]
 mod tests;
 pub mod types;

@@ -1,0 +1,327 @@
+//! Checkpoint persistence for the full ROCC model: [`Persist`] codecs for
+//! every piece of per-run state, the [`PersistState`] wiring that lets
+//! [`Sim::snapshot`]/[`Sim::restore`] capture and rebuild a `RoccModel`,
+//! and the fork primitives ([`warm_snapshot`], [`fork_n`]) used by the
+//! factorial sweep driver to share one warmed-up transient across
+//! replications.
+//!
+//! The configuration itself is **not** serialized. A snapshot can only be
+//! restored into a model freshly built from the *same* configuration; the
+//! frame carries a fingerprint (an FNV-1a hash of the config's debug form)
+//! and [`Sim::restore`] rejects any mismatch. This keeps derived topology
+//! (node/daemon placement, bank shapes) out of the payload and makes every
+//! load validate against by-construction invariants instead of trusting
+//! the bytes.
+
+use super::types::{CpuJob, NetJob};
+use super::{Acc, AppProc, Daemon, RoccModel, Step};
+use crate::config::SimConfig;
+use paradyn_des::{
+    fnv1a, CalendarKind, Dec, Enc, FcfsServer, Persist, PersistState, RrCpuBank, Sim, SimTime,
+    SnapError, StreamRng,
+};
+
+impl Persist for Step {
+    fn save(&self, w: &mut Enc) {
+        w.put_u8(match self {
+            Step::Compute => 0,
+            Step::Comm => 1,
+        });
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        match r.take_u8()? {
+            0 => Ok(Step::Compute),
+            1 => Ok(Step::Comm),
+            _ => Err(SnapError::Malformed("app step tag")),
+        }
+    }
+}
+
+impl Persist for AppProc {
+    fn save(&self, w: &mut Enc) {
+        w.put_u32(self.node);
+        w.put_u32(self.pd);
+        self.cpu_rng.save(w);
+        self.net_rng.save(w);
+        self.sample_rng.save(w);
+        self.pipe.save(w);
+        self.blocked_since.save(w);
+        self.paused.save(w);
+        w.put_bool(self.sampling_active);
+        w.put_f64(self.work_since_barrier_us);
+        w.put_f64(self.current_burst_us);
+        w.put_bool(self.at_barrier);
+        w.put_u64(self.replay_cpu_pos);
+        w.put_u64(self.replay_net_pos);
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        Ok(AppProc {
+            node: r.take_u32()?,
+            pd: r.take_u32()?,
+            cpu_rng: Persist::load(r)?,
+            net_rng: Persist::load(r)?,
+            sample_rng: Persist::load(r)?,
+            pipe: Persist::load(r)?,
+            blocked_since: Persist::load(r)?,
+            paused: Persist::load(r)?,
+            sampling_active: r.take_bool()?,
+            work_since_barrier_us: r.take_f64()?,
+            current_burst_us: r.take_f64()?,
+            at_barrier: r.take_bool()?,
+            replay_cpu_pos: r.take_u64()?,
+            replay_net_pos: r.take_u64()?,
+        })
+    }
+}
+
+impl Persist for Daemon {
+    fn save(&self, w: &mut Enc) {
+        w.put_u32(self.node);
+        self.cpu_rng.save(w);
+        self.net_rng.save(w);
+        self.merge_rng.save(w);
+        self.fifo.save(w);
+        w.put_bool(self.collecting);
+        w.put_usize(self.batch);
+        w.put_u32(self.flush_gen);
+        w.put_f64(self.cpu_used_us);
+        w.put_f64(self.cpu_at_last_tick_us);
+        w.put_u64(self.batch_adjustments);
+        w.put_u64(self.forwarded_batches);
+        w.put_u64(self.forwarded_samples);
+        w.put_bool(self.down);
+        w.put_bool(self.doomed);
+        self.crash.save(w);
+        self.link_rng.save(w);
+        self.fault_mon.save(w);
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let d = Daemon {
+            node: r.take_u32()?,
+            cpu_rng: Persist::load(r)?,
+            net_rng: Persist::load(r)?,
+            merge_rng: Persist::load(r)?,
+            fifo: Persist::load(r)?,
+            collecting: r.take_bool()?,
+            batch: r.take_usize()?,
+            flush_gen: r.take_u32()?,
+            cpu_used_us: r.take_f64()?,
+            cpu_at_last_tick_us: r.take_f64()?,
+            batch_adjustments: r.take_u64()?,
+            forwarded_batches: r.take_u64()?,
+            forwarded_samples: r.take_u64()?,
+            down: r.take_bool()?,
+            doomed: r.take_bool()?,
+            crash: Persist::load(r)?,
+            link_rng: Persist::load(r)?,
+            fault_mon: Persist::load(r)?,
+        };
+        if d.batch == 0 {
+            return Err(SnapError::Malformed("daemon batch threshold of zero"));
+        }
+        Ok(d)
+    }
+}
+
+impl Persist for Acc {
+    fn save(&self, w: &mut Enc) {
+        for v in &self.cpu_busy_us {
+            w.put_f64(*v);
+        }
+        for v in &self.net_busy_us {
+            w.put_f64(*v);
+        }
+        w.put_f64(self.latency_sum_s);
+        w.put_f64(self.fwd_latency_sum_s);
+        w.put_u64(self.received_samples);
+        w.put_u64(self.received_msgs);
+        w.put_u64(self.generated_samples);
+        w.put_u64(self.barrier_ops);
+        w.put_u64(self.emitted_samples);
+        w.put_u64(self.lost_blocked);
+        w.put_u64(self.lost_crash);
+        w.put_u64(self.lost_link);
+        w.put_f64(self.writer_block_us);
+        w.put_f64(self.stall_injected_us);
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let mut acc = Acc::default();
+        for v in &mut acc.cpu_busy_us {
+            *v = r.take_f64()?;
+        }
+        for v in &mut acc.net_busy_us {
+            *v = r.take_f64()?;
+        }
+        acc.latency_sum_s = r.take_f64()?;
+        acc.fwd_latency_sum_s = r.take_f64()?;
+        acc.received_samples = r.take_u64()?;
+        acc.received_msgs = r.take_u64()?;
+        acc.generated_samples = r.take_u64()?;
+        acc.barrier_ops = r.take_u64()?;
+        acc.emitted_samples = r.take_u64()?;
+        acc.lost_blocked = r.take_u64()?;
+        acc.lost_crash = r.take_u64()?;
+        acc.lost_link = r.take_u64()?;
+        acc.writer_block_us = r.take_f64()?;
+        acc.stall_injected_us = r.take_f64()?;
+        Ok(acc)
+    }
+}
+
+impl PersistState for RoccModel {
+    /// Configuration identity for snapshot compatibility: a snapshot taken
+    /// under one config can only restore into a model built from a config
+    /// with the identical debug form.
+    fn fingerprint(&self) -> u64 {
+        fnv1a(format!("SimConfig:{:?}", self.cfg).as_bytes())
+    }
+
+    fn save_state(&self, w: &mut Enc) {
+        self.banks.save(w);
+        self.shared_net.save(w);
+        self.apps.save(w);
+        self.daemons.save(w);
+        self.tokens.save(w);
+        self.barrier_waiting.save(w);
+        self.main_rng.save(w);
+        self.pvmd_rngs.save(w);
+        self.other_rngs.save(w);
+        self.stall_rng.save(w);
+        self.acc.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut Dec<'_>) -> Result<(), SnapError> {
+        let banks: Vec<RrCpuBank<CpuJob>> = Persist::load(r)?;
+        if banks.len() != self.banks.len()
+            || banks
+                .iter()
+                .zip(&self.banks)
+                .any(|(got, want)| got.cpus() != want.cpus())
+        {
+            return Err(SnapError::Malformed("CPU bank shape differs from config"));
+        }
+        let shared_net: Option<FcfsServer<NetJob>> = Persist::load(r)?;
+        if shared_net.is_some() != self.shared_net.is_some() {
+            return Err(SnapError::Malformed("network kind differs from config"));
+        }
+        let apps: Vec<AppProc> = Persist::load(r)?;
+        if apps.len() != self.apps.len() {
+            return Err(SnapError::Malformed("app count differs from config"));
+        }
+        let daemons: Vec<Daemon> = Persist::load(r)?;
+        if daemons.len() != self.daemons.len() {
+            return Err(SnapError::Malformed("daemon count differs from config"));
+        }
+        let tokens = Persist::load(r)?;
+        let barrier_waiting: Vec<u32> = Persist::load(r)?;
+        if barrier_waiting.len() > apps.len()
+            || barrier_waiting.iter().any(|&a| a as usize >= apps.len())
+        {
+            return Err(SnapError::Malformed("barrier roster out of range"));
+        }
+        let main_rng: StreamRng = Persist::load(r)?;
+        let pvmd_rngs: Vec<StreamRng> = Persist::load(r)?;
+        if pvmd_rngs.len() != self.pvmd_rngs.len() {
+            return Err(SnapError::Malformed("pvmd stream count differs from config"));
+        }
+        let other_rngs: Vec<StreamRng> = Persist::load(r)?;
+        if other_rngs.len() != self.other_rngs.len() {
+            return Err(SnapError::Malformed("other stream count differs from config"));
+        }
+        let stall_rng: StreamRng = Persist::load(r)?;
+        let acc: Acc = Persist::load(r)?;
+        self.banks = banks;
+        self.shared_net = shared_net;
+        self.apps = apps;
+        self.daemons = daemons;
+        self.tokens = tokens;
+        self.barrier_waiting = barrier_waiting;
+        self.main_rng = main_rng;
+        self.pvmd_rngs = pvmd_rngs;
+        self.other_rngs = other_rngs;
+        self.stall_rng = stall_rng;
+        self.acc = acc;
+        Ok(())
+    }
+}
+
+impl RoccModel {
+    /// Decorrelate every random stream in the model from its pre-fork
+    /// history by perturbing each with a sub-salt derived from `salt`.
+    ///
+    /// The iteration order (apps' three streams, then each daemon's four
+    /// streams plus its crash schedule, then main/background/stall) is part
+    /// of the format: identical `(state, salt)` always yields identical
+    /// perturbed state, which the fork-equivalence tests rely on.
+    pub fn perturb_streams(&mut self, salt: u64) {
+        let mut i: u64 = 0;
+        let mut sub = move || {
+            i += 1;
+            salt.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        };
+        for a in &mut self.apps {
+            a.cpu_rng.perturb(sub());
+            a.net_rng.perturb(sub());
+            a.sample_rng.perturb(sub());
+        }
+        for d in &mut self.daemons {
+            d.cpu_rng.perturb(sub());
+            d.net_rng.perturb(sub());
+            d.merge_rng.perturb(sub());
+            d.link_rng.perturb(sub());
+            if let Some(crash) = &mut d.crash {
+                crash.perturb(sub());
+            }
+        }
+        self.main_rng.perturb(sub());
+        for rng in &mut self.pvmd_rngs {
+            rng.perturb(sub());
+        }
+        for rng in &mut self.other_rngs {
+            rng.perturb(sub());
+        }
+        self.stall_rng.perturb(sub());
+    }
+}
+
+/// Build `cfg`, run the simulation to `warmup`, and seal a snapshot of the
+/// warmed state (calendar contents, RNG streams, and all model state).
+///
+/// # Panics
+/// Panics on an invalid configuration (see [`SimConfig::validate`]).
+pub fn warm_snapshot(
+    cfg: &SimConfig,
+    warmup: SimTime,
+    kind: CalendarKind,
+) -> Result<Vec<u8>, SnapError> {
+    let mut sim = super::build_with_calendar(cfg, kind);
+    sim.snapshot(warmup)
+}
+
+/// Restore one independent simulation per salt from a single warmed
+/// snapshot, perturbing each copy's random streams with its salt so the
+/// forks diverge like independently seeded replications while sharing the
+/// warmed-up transient.
+///
+/// `cfg` must be the configuration the snapshot was taken under
+/// (fingerprint-checked). A fork with salt `s` is bit-identical to running
+/// the base simulation from zero to the warmup point, perturbing with `s`,
+/// and continuing — the snapshot only skips the shared warmup work.
+///
+/// # Panics
+/// Panics on an invalid configuration (see [`SimConfig::validate`]).
+pub fn fork_n(
+    cfg: &SimConfig,
+    snapshot: &[u8],
+    kind: CalendarKind,
+    fork_salts: &[u64],
+) -> Result<Vec<Sim<RoccModel>>, SnapError> {
+    fork_salts
+        .iter()
+        .map(|&salt| {
+            let mut sim = Sim::restore(RoccModel::new(cfg.clone()), kind, snapshot)?;
+            sim.model.perturb_streams(salt);
+            Ok(sim)
+        })
+        .collect()
+}

@@ -314,6 +314,270 @@ pub fn tree_parent(i: u32) -> u32 {
     (i - 1) / 2
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot codec impls. `ProcessClass` is foreign to both this crate and the
+// `Persist` trait's crate, so it is encoded inline as its `class_idx` byte.
+// ---------------------------------------------------------------------------
+
+use paradyn_des::{Dec, Enc, Persist, SnapError};
+
+fn save_class(c: ProcessClass, w: &mut Enc) {
+    w.put_u8(class_idx(c) as u8);
+}
+
+fn load_class(r: &mut Dec<'_>) -> Result<ProcessClass, SnapError> {
+    let i = r.take_u8()? as usize;
+    ProcessClass::ALL
+        .into_iter()
+        .find(|&c| class_idx(c) == i)
+        .ok_or(SnapError::Malformed("unknown process class"))
+}
+
+impl Persist for Batch {
+    fn save(&self, w: &mut Enc) {
+        w.put_u32(self.count);
+        w.put_u64(self.sum_gen_ns);
+        w.put_u64(self.ready_ns);
+        self.drain_apps.save(w);
+        w.put_u32(self.attempts);
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        Ok(Batch {
+            count: r.take_u32()?,
+            sum_gen_ns: r.take_u64()?,
+            ready_ns: r.take_u64()?,
+            drain_apps: Persist::load(r)?,
+            attempts: r.take_u32()?,
+        })
+    }
+}
+
+impl Persist for TokenSlab {
+    fn save(&self, w: &mut Enc) {
+        self.slots.save(w);
+        self.free.save(w);
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let slots: Vec<Option<Batch>> = Persist::load(r)?;
+        let free: Vec<Token> = Persist::load(r)?;
+        // Every vacant slot must appear on the free list exactly once, so
+        // token recycling (LIFO order is part of the serialized free list)
+        // behaves identically after a restore.
+        let live = slots.iter().filter(|s| s.is_some()).count();
+        if live + free.len() != slots.len() {
+            return Err(SnapError::Malformed("token slab free-list size"));
+        }
+        let mut seen = vec![false; slots.len()];
+        for &t in &free {
+            match slots.get(t as usize) {
+                Some(None) if !seen[t as usize] => seen[t as usize] = true,
+                _ => return Err(SnapError::Malformed("token slab free-list entry")),
+            }
+        }
+        Ok(TokenSlab { slots, free, live })
+    }
+}
+
+impl Persist for CpuKind {
+    fn save(&self, w: &mut Enc) {
+        match *self {
+            CpuKind::AppCompute { app } => {
+                w.put_u8(0);
+                w.put_u32(app);
+            }
+            CpuKind::PdCollect { pd, token } => {
+                w.put_u8(1);
+                w.put_u32(pd);
+                w.put_u32(token);
+            }
+            CpuKind::PdMerge { node, token } => {
+                w.put_u8(2);
+                w.put_u32(node);
+                w.put_u32(token);
+            }
+            CpuKind::MainRecv { token } => {
+                w.put_u8(3);
+                w.put_u32(token);
+            }
+            CpuKind::PvmdCpu { node } => {
+                w.put_u8(4);
+                w.put_u32(node);
+            }
+            CpuKind::OtherCpu => w.put_u8(5),
+        }
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        Ok(match r.take_u8()? {
+            0 => CpuKind::AppCompute { app: r.take_u32()? },
+            1 => CpuKind::PdCollect {
+                pd: r.take_u32()?,
+                token: r.take_u32()?,
+            },
+            2 => CpuKind::PdMerge {
+                node: r.take_u32()?,
+                token: r.take_u32()?,
+            },
+            3 => CpuKind::MainRecv { token: r.take_u32()? },
+            4 => CpuKind::PvmdCpu { node: r.take_u32()? },
+            5 => CpuKind::OtherCpu,
+            _ => return Err(SnapError::Malformed("CpuKind tag")),
+        })
+    }
+}
+
+impl Persist for CpuJob {
+    fn save(&self, w: &mut Enc) {
+        save_class(self.class, w);
+        self.kind.save(w);
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        Ok(CpuJob {
+            class: load_class(r)?,
+            kind: Persist::load(r)?,
+        })
+    }
+}
+
+impl Persist for Dest {
+    fn save(&self, w: &mut Enc) {
+        match *self {
+            Dest::Node(n) => {
+                w.put_u8(0);
+                w.put_u32(n);
+            }
+            Dest::Main => w.put_u8(1),
+        }
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        Ok(match r.take_u8()? {
+            0 => Dest::Node(r.take_u32()?),
+            1 => Dest::Main,
+            _ => return Err(SnapError::Malformed("Dest tag")),
+        })
+    }
+}
+
+impl Persist for NetJob {
+    fn save(&self, w: &mut Enc) {
+        match *self {
+            NetJob::AppComm { app } => {
+                w.put_u8(0);
+                w.put_u32(app);
+            }
+            NetJob::Forward { token, dest } => {
+                w.put_u8(1);
+                w.put_u32(token);
+                dest.save(w);
+            }
+            NetJob::PvmdNet => w.put_u8(2),
+            NetJob::OtherNet => w.put_u8(3),
+        }
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        Ok(match r.take_u8()? {
+            0 => NetJob::AppComm { app: r.take_u32()? },
+            1 => NetJob::Forward {
+                token: r.take_u32()?,
+                dest: Persist::load(r)?,
+            },
+            2 => NetJob::PvmdNet,
+            3 => NetJob::OtherNet,
+            _ => return Err(SnapError::Malformed("NetJob tag")),
+        })
+    }
+}
+
+impl Persist for Ev {
+    fn save(&self, w: &mut Enc) {
+        match *self {
+            Ev::Init => w.put_u8(0),
+            Ev::Slice { bank, cpu } => {
+                w.put_u8(1);
+                w.put_u32(bank);
+                w.put_u32(cpu);
+            }
+            Ev::NetDone => w.put_u8(2),
+            Ev::Deliver(job) => {
+                w.put_u8(3);
+                job.save(w);
+            }
+            Ev::Sample { app } => {
+                w.put_u8(4);
+                w.put_u32(app);
+            }
+            Ev::PvmdArrival { node } => {
+                w.put_u8(5);
+                w.put_u32(node);
+            }
+            Ev::OtherCpuArrival { node } => {
+                w.put_u8(6);
+                w.put_u32(node);
+            }
+            Ev::OtherNetArrival { node } => {
+                w.put_u8(7);
+                w.put_u32(node);
+            }
+            Ev::FlushTimeout { pd, gen } => {
+                w.put_u8(8);
+                w.put_u32(pd);
+                w.put_u32(gen);
+            }
+            Ev::AdaptTick { pd } => {
+                w.put_u8(9);
+                w.put_u32(pd);
+            }
+            Ev::DaemonCrash { pd } => {
+                w.put_u8(10);
+                w.put_u32(pd);
+            }
+            Ev::DaemonRecover { pd } => {
+                w.put_u8(11);
+                w.put_u32(pd);
+            }
+            Ev::RetryForward {
+                pd,
+                token,
+                demand_us,
+            } => {
+                w.put_u8(12);
+                w.put_u32(pd);
+                w.put_u32(token);
+                w.put_f64(demand_us);
+            }
+            Ev::MainStall => w.put_u8(13),
+        }
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        Ok(match r.take_u8()? {
+            0 => Ev::Init,
+            1 => Ev::Slice {
+                bank: r.take_u32()?,
+                cpu: r.take_u32()?,
+            },
+            2 => Ev::NetDone,
+            3 => Ev::Deliver(Persist::load(r)?),
+            4 => Ev::Sample { app: r.take_u32()? },
+            5 => Ev::PvmdArrival { node: r.take_u32()? },
+            6 => Ev::OtherCpuArrival { node: r.take_u32()? },
+            7 => Ev::OtherNetArrival { node: r.take_u32()? },
+            8 => Ev::FlushTimeout {
+                pd: r.take_u32()?,
+                gen: r.take_u32()?,
+            },
+            9 => Ev::AdaptTick { pd: r.take_u32()? },
+            10 => Ev::DaemonCrash { pd: r.take_u32()? },
+            11 => Ev::DaemonRecover { pd: r.take_u32()? },
+            12 => Ev::RetryForward {
+                pd: r.take_u32()?,
+                token: r.take_u32()?,
+                demand_us: r.take_f64()?,
+            },
+            13 => Ev::MainStall,
+            _ => return Err(SnapError::Malformed("Ev tag")),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -184,6 +184,48 @@ impl Pipe {
     }
 }
 
+impl paradyn_des::Persist for Pipe {
+    fn save(&self, w: &mut paradyn_des::Enc) {
+        w.put_usize(self.capacity);
+        w.put_usize(self.occupied);
+        w.put_u8(match self.policy {
+            OverflowPolicy::Block => 0,
+            OverflowPolicy::DropNewest => 1,
+            OverflowPolicy::DropOldest => 2,
+        });
+        self.pending.save(w);
+        w.put_u64(self.blocked_deposits);
+        w.put_u64(self.lost);
+        w.put_u64(self.rejected_deposits);
+    }
+    fn load(r: &mut paradyn_des::Dec<'_>) -> Result<Self, paradyn_des::SnapError> {
+        use paradyn_des::{Persist, SnapError};
+        let capacity = r.take_usize()?;
+        let occupied = r.take_usize()?;
+        let policy = match r.take_u8()? {
+            0 => OverflowPolicy::Block,
+            1 => OverflowPolicy::DropNewest,
+            2 => OverflowPolicy::DropOldest,
+            _ => return Err(SnapError::Malformed("pipe policy tag")),
+        };
+        if capacity == 0 {
+            return Err(SnapError::Malformed("pipe capacity zero"));
+        }
+        if occupied > capacity {
+            return Err(SnapError::Malformed("pipe occupancy beyond capacity"));
+        }
+        Ok(Pipe {
+            capacity,
+            occupied,
+            policy,
+            pending: Persist::load(r)?,
+            blocked_deposits: r.take_u64()?,
+            lost: r.take_u64()?,
+            rejected_deposits: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -716,6 +716,60 @@ impl<E> Calendar<E> {
         None
     }
 
+    /// Visit every live (non-cancelled) entry in storage order.
+    fn for_each_live<'a>(&'a self, mut f: impl FnMut(&'a Entry<E>)) {
+        match &self.backend {
+            Backend::Wheel(w) => {
+                for e in &w.due {
+                    if !self.slab.is_cancelled(e.slot) {
+                        f(e);
+                    }
+                }
+                for b in &w.buckets {
+                    for e in b {
+                        if !self.slab.is_cancelled(e.slot) {
+                            f(e);
+                        }
+                    }
+                }
+            }
+            Backend::Heap(h) => {
+                for Reverse(e) in h.heap.iter() {
+                    if !self.slab.is_cancelled(e.slot) {
+                        f(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Canonical capture of every live entry as `(at_ns, seq, event)`,
+    /// sorted by `(at, seq)`. Cancelled leftovers awaiting lazy collection
+    /// are excluded, so the result is identical across backends and across
+    /// cascade/staging history — the form snapshots serialize.
+    pub(crate) fn live_entries(&self) -> Vec<(u64, u64, E)>
+    where
+        E: Clone,
+    {
+        let mut out = Vec::with_capacity(self.live);
+        self.for_each_live(|e| out.push((e.at, e.seq, e.ev.clone())));
+        out.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        debug_assert_eq!(out.len(), self.live);
+        out
+    }
+
+    /// The earliest live `(at_ns, seq)` with a reference to its event,
+    /// without disturbing the backend. O(live) scan — a diagnostic/test
+    /// path, not the delivery path.
+    pub(crate) fn peek_min(&self) -> Option<(u64, u64, &E)> {
+        let mut best: Option<(u64, u64, &E)> = None;
+        self.for_each_live(|e| match best {
+            Some((at, seq, _)) if (at, seq) <= (e.at, e.seq) => {}
+            _ => best = Some((e.at, e.seq, &e.ev)),
+        });
+        best
+    }
+
     pub(crate) fn stats(&self) -> CalendarStats {
         CalendarStats {
             live: self.live,

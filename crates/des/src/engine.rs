@@ -8,6 +8,7 @@
 //! model + seed is fully deterministic regardless of the backend.
 
 use crate::calendar::{Calendar, CalendarKind, CalendarStats};
+use crate::snapshot::{self, Dec, Enc, Persist, PersistState, SnapError};
 use crate::time::{SimDur, SimTime};
 
 pub use crate::calendar::EventHandle;
@@ -113,6 +114,77 @@ impl<E> Ctx<E> {
     fn pop_next_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
         self.calendar.pop_next_before(horizon)
     }
+
+    /// The earliest pending `(time, event)` without executing or
+    /// disturbing anything (O(pending) scan — a diagnostic path).
+    pub(crate) fn peek_next(&self) -> Option<(SimTime, E)>
+    where
+        E: Clone,
+    {
+        self.calendar
+            .peek_min()
+            .map(|(at, _seq, ev)| (SimTime::from_nanos(at), ev.clone()))
+    }
+
+    /// Append the kernel state — clock, sequence/event counters, and the
+    /// calendar in canonical sorted `(at, seq, event)` form — to `w`.
+    pub(crate) fn save_state(&self, w: &mut Enc)
+    where
+        E: Persist + Clone,
+    {
+        w.put_u64(self.now.as_nanos());
+        w.put_u64(self.next_seq);
+        w.put_u64(self.executed);
+        w.put_u64(self.scheduled);
+        let entries = self.calendar.live_entries();
+        w.put_usize(entries.len());
+        for (at, seq, ev) in &entries {
+            w.put_u64(*at);
+            w.put_u64(*seq);
+            ev.save(w);
+        }
+    }
+
+    /// Rebuild a context from its canonical byte form onto backend `kind`.
+    /// The canonical form is backend-independent: re-scheduling the sorted
+    /// entries with their original sequence numbers reproduces the exact
+    /// `(time, seq)` delivery order on either backend.
+    pub(crate) fn load_state(kind: CalendarKind, r: &mut Dec<'_>) -> Result<Ctx<E>, SnapError>
+    where
+        E: Persist,
+    {
+        let now = SimTime::from_nanos(r.take_u64()?);
+        let next_seq = r.take_u64()?;
+        let executed = r.take_u64()?;
+        let scheduled = r.take_u64()?;
+        if next_seq != scheduled {
+            return Err(SnapError::Malformed("next_seq != scheduled"));
+        }
+        let n = r.take_usize()?;
+        let mut ctx = Ctx::new(kind);
+        ctx.now = now;
+        let mut prev: Option<(u64, u64)> = None;
+        for _ in 0..n {
+            let at = r.take_u64()?;
+            let seq = r.take_u64()?;
+            let ev = E::load(r)?;
+            if at < now.as_nanos() {
+                return Err(SnapError::Malformed("calendar entry before the clock"));
+            }
+            if seq >= next_seq {
+                return Err(SnapError::Malformed("calendar seq beyond next_seq"));
+            }
+            if prev.is_some_and(|p| (at, seq) <= p) {
+                return Err(SnapError::Malformed("calendar entries not strictly sorted"));
+            }
+            prev = Some((at, seq));
+            ctx.calendar.schedule(SimTime::from_nanos(at), seq, ev);
+        }
+        ctx.next_seq = next_seq;
+        ctx.executed = executed;
+        ctx.scheduled = scheduled;
+        Ok(ctx)
+    }
 }
 
 /// The simulation driver: a model plus its event calendar.
@@ -194,6 +266,83 @@ impl<M: Model> Sim<M> {
     /// Total events executed over the life of the simulation.
     pub fn executed_events(&self) -> u64 {
         self.ctx.executed
+    }
+
+    /// Which calendar backend this driver runs on.
+    pub fn calendar_kind(&self) -> CalendarKind {
+        self.ctx.calendar_kind()
+    }
+
+    /// The earliest pending `(time, event)` without executing it.
+    /// O(pending) — intended for divergence reports and tests, not the
+    /// simulation hot path.
+    pub fn peek_next(&self) -> Option<(SimTime, M::Event)>
+    where
+        M::Event: Clone,
+    {
+        self.ctx.peek_next()
+    }
+
+    /// Consume the driver, yielding the model (e.g. as a freshly built
+    /// donor for [`Sim::restore`]).
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+impl<M> Sim<M>
+where
+    M: Model + PersistState,
+    M::Event: Persist + Clone,
+{
+    /// Canonical, unsealed state bytes: kernel state (clock, counters,
+    /// calendar in canonical form) followed by the model's own state. Two
+    /// sims in bit-identical states produce equal payloads regardless of
+    /// calendar backend — the comparison unit for differential testing and
+    /// [`snapshot::rewind_bisect`].
+    pub fn state_payload(&self) -> Vec<u8> {
+        let mut w = Enc::new();
+        self.ctx.save_state(&mut w);
+        self.model.save_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Seal the current state into a versioned, checksummed snapshot frame
+    /// carrying the model's configuration fingerprint.
+    pub fn snapshot_now(&self) -> Vec<u8> {
+        snapshot::seal(self.model.fingerprint(), &self.state_payload())
+    }
+
+    /// Run forward to time `t` (a no-op when already there) and return the
+    /// sealed snapshot. Fails with [`SnapError::Malformed`] when `t` lies
+    /// in the simulated past — rewinding is done by restoring an earlier
+    /// snapshot, never by running backwards.
+    pub fn snapshot(&mut self, t: SimTime) -> Result<Vec<u8>, SnapError> {
+        if t < self.ctx.now {
+            return Err(SnapError::Malformed("snapshot time before current clock"));
+        }
+        self.run_until(t);
+        Ok(self.snapshot_now())
+    }
+
+    /// Rebuild a simulation from a sealed snapshot onto calendar `kind`
+    /// (which need not match the backend the snapshot was taken on).
+    /// `model` must be a freshly built model for the *same configuration*
+    /// the snapshot was taken under; its state is fully overwritten.
+    pub fn restore(model: M, kind: CalendarKind, bytes: &[u8]) -> Result<Sim<M>, SnapError> {
+        let (found, payload) = snapshot::open(bytes)?;
+        let expected = model.fingerprint();
+        if found != expected {
+            return Err(SnapError::ConfigMismatch { expected, found });
+        }
+        let mut r = Dec::new(payload);
+        let ctx = Ctx::load_state(kind, &mut r)?;
+        let mut model = model;
+        model.load_state(&mut r)?;
+        if !r.is_empty() {
+            return Err(SnapError::TrailingBytes);
+        }
+        Ok(Sim { model, ctx })
     }
 }
 

@@ -68,6 +68,41 @@ impl FaultSchedule {
         };
         SimDur::from_micros_f64(us)
     }
+
+    /// Deterministically perturb the underlying stream (snapshot forking —
+    /// see [`StreamRng::perturb`]). The means and recovery mode are left
+    /// untouched: forks vary randomness, never configuration.
+    pub fn perturb(&mut self, salt: u64) {
+        self.rng.perturb(salt);
+    }
+}
+
+impl crate::snapshot::Persist for FaultSchedule {
+    fn save(&self, w: &mut crate::snapshot::Enc) {
+        self.rng.save(w);
+        w.put_f64(self.mtbf_us);
+        w.put_f64(self.recovery_us);
+        w.put_bool(self.jittered_recovery);
+    }
+    fn load(r: &mut crate::snapshot::Dec<'_>) -> Result<Self, crate::snapshot::SnapError> {
+        let rng = crate::snapshot::Persist::load(r)?;
+        let mtbf_us = r.take_f64()?;
+        let recovery_us = r.take_f64()?;
+        let jittered_recovery = r.take_bool()?;
+        // Re-validate what `new` asserts, without panicking on bad bytes.
+        if !(mtbf_us.is_finite() && mtbf_us > 0.0 && recovery_us.is_finite() && recovery_us > 0.0)
+        {
+            return Err(crate::snapshot::SnapError::Malformed(
+                "fault schedule means must be positive and finite",
+            ));
+        }
+        Ok(FaultSchedule {
+            rng,
+            mtbf_us,
+            recovery_us,
+            jittered_recovery,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -132,6 +132,60 @@ impl<J> FcfsServer<J> {
     }
 }
 
+impl<J: crate::snapshot::Persist> crate::snapshot::Persist for FcfsServer<J> {
+    fn save(&self, w: &mut crate::snapshot::Enc) {
+        match &self.current {
+            None => w.put_u8(0),
+            Some(s) => {
+                w.put_u8(1);
+                s.job.save(w);
+                s.service.save(w);
+            }
+        }
+        w.put_usize(self.queue.len());
+        for q in &self.queue {
+            q.job.save(w);
+            q.service.save(w);
+            q.arrived.save(w);
+        }
+        self.busy.save(w);
+        self.waits.save(w);
+        w.put_u64(self.served);
+    }
+    fn load(
+        r: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<Self, crate::snapshot::SnapError> {
+        use crate::snapshot::{Persist, SnapError};
+        let current = match r.take_u8()? {
+            0 => None,
+            1 => Some(InService {
+                job: J::load(r)?,
+                service: Persist::load(r)?,
+            }),
+            _ => return Err(SnapError::Malformed("FcfsServer current tag")),
+        };
+        let n = r.take_usize()?;
+        let mut queue = VecDeque::with_capacity(n.min(4096));
+        for _ in 0..n {
+            queue.push_back(Waiting {
+                job: J::load(r)?,
+                service: Persist::load(r)?,
+                arrived: Persist::load(r)?,
+            });
+        }
+        if current.is_none() && !queue.is_empty() {
+            return Err(SnapError::Malformed("FcfsServer idle with waiting queue"));
+        }
+        Ok(FcfsServer {
+            current,
+            queue,
+            busy: Persist::load(r)?,
+            waits: Persist::load(r)?,
+            served: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,6 +52,7 @@ pub mod fcfs;
 pub mod monitor;
 pub mod rng;
 pub mod rr;
+pub mod snapshot;
 pub mod time;
 
 pub use calendar::{CalendarKind, CalendarStats};
@@ -61,4 +62,8 @@ pub use fcfs::{FcfsServer, Offer};
 pub use monitor::{BusyTime, Counter, FaultMonitor, Tally, TimeWeighted};
 pub use rng::{StreamRng, Streams};
 pub use rr::{RrCpuBank, SliceEnd, Submit};
+pub use snapshot::{
+    fnv1a, open, rewind_bisect, seal, Dec, Divergence, Enc, Persist, PersistState, SnapError,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use time::{SimDur, SimTime};

@@ -1,5 +1,6 @@
 //! Statistics monitors for observation-based and time-weighted measures.
 
+use crate::snapshot::{Dec, Enc, Persist, SnapError};
 use crate::time::{SimDur, SimTime};
 
 /// Welford online tally of an observation-based statistic (e.g. per-sample
@@ -100,6 +101,25 @@ impl Tally {
     }
 }
 
+impl Persist for Tally {
+    fn save(&self, w: &mut Enc) {
+        w.put_u64(self.n);
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        Ok(Tally {
+            n: r.take_u64()?,
+            mean: r.take_f64()?,
+            m2: r.take_f64()?,
+            min: r.take_f64()?,
+            max: r.take_f64()?,
+        })
+    }
+}
+
 /// Accumulator of resource busy time, yielding utilization over an interval.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BusyTime {
@@ -130,6 +150,17 @@ impl BusyTime {
         } else {
             self.total_ns as f64 / horizon.as_nanos() as f64
         }
+    }
+}
+
+impl Persist for BusyTime {
+    fn save(&self, w: &mut Enc) {
+        w.put_u64(self.total_ns);
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        Ok(BusyTime {
+            total_ns: r.take_u64()?,
+        })
     }
 }
 
@@ -301,6 +332,25 @@ impl FaultMonitor {
             _ => 0,
         };
         SimDur::from_nanos(self.downtime_ns + open)
+    }
+}
+
+impl Persist for FaultMonitor {
+    fn save(&self, w: &mut Enc) {
+        w.put_u64(self.crashes);
+        w.put_u64(self.lost);
+        w.put_u64(self.retries);
+        self.down_since.save(w);
+        w.put_u64(self.downtime_ns);
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        Ok(FaultMonitor {
+            crashes: r.take_u64()?,
+            lost: r.take_u64()?,
+            retries: r.take_u64()?,
+            down_since: Persist::load(r)?,
+            downtime_ns: r.take_u64()?,
+        })
     }
 }
 

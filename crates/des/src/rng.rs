@@ -78,6 +78,43 @@ impl StreamRng {
         // Multiply-shift rejection-free mapping is fine for simulation use.
         ((self.next_u64() as u128 * n as u128) >> 64) as u64
     }
+
+    /// Deterministically perturb the stream state with `salt`: each state
+    /// word is XORed with a successive SplitMix64 output of the salt. Used
+    /// by snapshot forking to branch N decorrelated futures from one warmed
+    /// state, and by the snapshot mutation self-check. `perturb(s)` on two
+    /// bit-identical streams yields bit-identical streams; different salts
+    /// yield decorrelated streams.
+    pub fn perturb(&mut self, salt: u64) {
+        let mut sm = salt;
+        for w in &mut self.s {
+            *w ^= splitmix64(&mut sm);
+        }
+        // Preserve the xoshiro non-zero-state invariant.
+        if self.s == [0; 4] {
+            self.s[0] = 0x853C49E6748FEA9B;
+        }
+    }
+}
+
+impl crate::snapshot::Persist for StreamRng {
+    fn save(&self, w: &mut crate::snapshot::Enc) {
+        for v in &self.s {
+            w.put_u64(*v);
+        }
+    }
+    fn load(r: &mut crate::snapshot::Dec<'_>) -> Result<Self, crate::snapshot::SnapError> {
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = r.take_u64()?;
+        }
+        if s == [0; 4] {
+            // All-zero is a fixed point of xoshiro256++ — no valid stream
+            // ever holds it, so the bytes are corrupt.
+            return Err(crate::snapshot::SnapError::Malformed("all-zero xoshiro state"));
+        }
+        Ok(StreamRng { s })
+    }
 }
 
 impl paradyn_stats::Rng for StreamRng {

@@ -172,6 +172,59 @@ impl<J: Copy> RrCpuBank<J> {
     }
 }
 
+impl<J: crate::snapshot::Persist> crate::snapshot::Persist for RrCpuBank<J> {
+    fn save(&self, w: &mut crate::snapshot::Enc) {
+        self.quantum.save(w);
+        w.put_usize(self.running.len());
+        for slot in &self.running {
+            match slot {
+                None => w.put_u8(0),
+                Some(run) => {
+                    w.put_u8(1);
+                    run.job.save(w);
+                    run.remaining.save(w);
+                    run.slice.save(w);
+                }
+            }
+        }
+        self.ready.save(w);
+        self.busy.save(w);
+        w.put_u64(self.completed);
+    }
+    fn load(
+        r: &mut crate::snapshot::Dec<'_>,
+    ) -> Result<Self, crate::snapshot::SnapError> {
+        use crate::snapshot::{Persist, SnapError};
+        let quantum: SimDur = Persist::load(r)?;
+        if quantum.is_zero() {
+            return Err(SnapError::Malformed("RrCpuBank zero quantum"));
+        }
+        let cpus = r.take_usize()?;
+        if cpus == 0 {
+            return Err(SnapError::Malformed("RrCpuBank with zero CPUs"));
+        }
+        let mut running = Vec::with_capacity(cpus.min(4096));
+        for _ in 0..cpus {
+            running.push(match r.take_u8()? {
+                0 => None,
+                1 => Some(Running {
+                    job: J::load(r)?,
+                    remaining: Persist::load(r)?,
+                    slice: Persist::load(r)?,
+                }),
+                _ => return Err(SnapError::Malformed("RrCpuBank running tag")),
+            });
+        }
+        Ok(RrCpuBank {
+            quantum,
+            running,
+            ready: Persist::load(r)?,
+            busy: Persist::load(r)?,
+            completed: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -160,6 +160,24 @@ impl SimDur {
     }
 }
 
+impl crate::snapshot::Persist for SimTime {
+    fn save(&self, w: &mut crate::snapshot::Enc) {
+        w.put_u64(self.0);
+    }
+    fn load(r: &mut crate::snapshot::Dec<'_>) -> Result<Self, crate::snapshot::SnapError> {
+        Ok(SimTime(r.take_u64()?))
+    }
+}
+
+impl crate::snapshot::Persist for SimDur {
+    fn save(&self, w: &mut crate::snapshot::Enc) {
+        w.put_u64(self.0);
+    }
+    fn load(r: &mut crate::snapshot::Dec<'_>) -> Result<Self, crate::snapshot::SnapError> {
+        Ok(SimDur(r.take_u64()?))
+    }
+}
+
 #[inline]
 fn micros_to_nanos(us: f64) -> u64 {
     if !us.is_finite() || us <= 0.0 {

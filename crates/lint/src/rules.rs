@@ -82,6 +82,7 @@ const PANIC_PATHS: &[&str] = &[
     "crates/testbed/src/harness.rs",
     "crates/des/src/calendar.rs",
     "crates/des/src/engine.rs",
+    "crates/des/src/snapshot.rs",
 ];
 
 /// The documented fault-stream allocation (DESIGN.md §6): ids 11-13 are

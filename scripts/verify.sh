@@ -47,6 +47,28 @@ if [ "$mut_rc" -ne 1 ]; then
 fi
 echo "mutation self-check: seeded violation correctly rejected"
 
+echo "== snapshot-equivalence suite (checkpoint/fork/rewind gate) =="
+snap_t0="$(date +%s%N)"
+cargo test -q --offline --test snapshot_equivalence
+snap_t1="$(date +%s%N)"
+snap_ms="$(( (snap_t1 - snap_t0) / 1000000 ))"
+echo "snapshot suite took ${snap_ms} ms"
+if [ "$snap_ms" -ge 60000 ]; then
+  echo "verify: FAIL — snapshot suite exceeded the 60 s budget" >&2
+  exit 1
+fi
+
+echo "== snapshot mutation self-check (perturbed RNG stream must go red) =="
+# perturbed_restore_breaks_equivalence restores a snapshot, perturbs its RNG
+# streams, and asserts the equivalence oracle notices. If it fails, the
+# suite above is blind to stream-state corruption.
+cargo test -q --offline --test snapshot_equivalence perturbed_restore_breaks_equivalence \
+  | grep -q "1 passed" || {
+  echo "verify: FAIL — snapshot mutation self-check did not run/pass" >&2
+  exit 1
+}
+echo "snapshot mutation self-check: perturbation correctly detected"
+
 echo "== fault-injection suite =="
 cargo test -q --offline --test fault_injection
 

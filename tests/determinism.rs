@@ -2,7 +2,10 @@
 //! on every architecture, and the common-random-numbers discipline keeps
 //! configuration changes from perturbing unrelated stochastic elements.
 
-use paradyn_core::{run, run_replicated_threads, Arch, Forwarding, SimConfig, SimMetrics};
+use paradyn_core::{
+    build_with_calendar, run, run_replicated_threads, Arch, Forwarding, SimConfig, SimMetrics,
+};
+use paradyn_des::{rewind_bisect, CalendarKind, SimTime};
 
 fn all_arch_configs() -> Vec<SimConfig> {
     vec![
@@ -122,16 +125,41 @@ fn parallel_replication_is_bit_identical_to_serial() {
     }
 }
 
+/// On a determinism failure, rerun the offending configuration through
+/// `rewind_bisect` and render the first divergent `(time, event)` pair —
+/// turning a bare "metrics differ" assertion into an actionable report.
+fn divergence_report(cfg: &SimConfig) -> String {
+    let kind = CalendarKind::default_from_env();
+    let horizon = SimTime::from_secs_f64(cfg.duration_s);
+    match rewind_bisect(
+        || build_with_calendar(cfg, kind),
+        || build_with_calendar(cfg, kind),
+        horizon,
+    ) {
+        Ok(None) => {
+            "rewind_bisect: re-runs are state-identical (divergence not reproducible?)".to_string()
+        }
+        Ok(Some(d)) => format!("rewind_bisect: {d}"),
+        Err(e) => format!("rewind_bisect failed: {e}"),
+    }
+}
+
 #[test]
 fn identical_seeds_are_bit_identical() {
     for cfg in all_arch_configs() {
         let a = run(&cfg);
         let b = run(&cfg);
-        assert_eq!(a.events, b.events, "{:?}", cfg.arch);
-        assert_eq!(a.received_samples, b.received_samples);
-        assert_eq!(a.generated_samples, b.generated_samples);
-        assert!(a.latency_mean_s == b.latency_mean_s || (a.latency_mean_s.is_nan() && b.latency_mean_s.is_nan()));
-        assert_eq!(a.pd_cpu_per_node_s, b.pd_cpu_per_node_s);
+        let same = a.events == b.events
+            && a.received_samples == b.received_samples
+            && a.generated_samples == b.generated_samples
+            && (a.latency_mean_s.to_bits() == b.latency_mean_s.to_bits())
+            && a.pd_cpu_per_node_s.to_bits() == b.pd_cpu_per_node_s.to_bits();
+        assert!(
+            same,
+            "{:?}: identical seeds produced different metrics:\n  a={a:?}\n  b={b:?}\n  {}",
+            cfg.arch,
+            divergence_report(&cfg)
+        );
     }
 }
 

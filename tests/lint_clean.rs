@@ -102,6 +102,11 @@ fn seeded_violations_are_caught() {
             "pub fn pop(v: &mut Vec<u32>) -> u32 { v.pop().unwrap() }",
         ),
         (
+            "panic-path",
+            "crates/des/src/snapshot.rs",
+            "pub fn first(v: &[u8]) -> u8 { *v.first().expect(\"non-empty\") }",
+        ),
+        (
             "rng-stream-id",
             "crates/des/src/engine.rs",
             "pub fn r(s: &paradyn_des::rng::Streams) -> u64 { s.stream(42).next_u64() }",
