@@ -1,6 +1,10 @@
 //! Validate a `BENCH_des.json` emitted by the `des_engine` bench against
-//! the `paradyn.bench.des.v1` schema. Exits nonzero (with a reason on
-//! stderr) on any violation, so `scripts/verify.sh` can gate on it.
+//! the `paradyn.bench.des.v1` schema, and — for non-smoke runs — enforce
+//! the throughput ratchet in a sibling `BENCH_floor.json`
+//! (`paradyn.bench.floor.v1`): any case below its floor fails the check,
+//! and cases with sustained headroom print a suggestion to raise the
+//! floor. Exits nonzero (with a reason on stderr) on any violation, so
+//! `scripts/verify.sh` can gate on it.
 
 use paradyn_bench::json::Json;
 
@@ -19,6 +23,79 @@ fn require_str<'a>(obj: &'a Json, key: &str, ctx: &str) -> &'a str {
     obj.get(key)
         .and_then(Json::as_str)
         .unwrap_or_else(|| fail(format!("{ctx}: missing or non-string `{key}`")))
+}
+
+/// Enforce `BENCH_floor.json` (if present next to the bench file) against
+/// the measured `(name, calendar, events_per_sec)` triples. Regressions
+/// below a floor are fatal; headroom above `floor * ratchet_margin` only
+/// prints a ratchet suggestion.
+fn check_floors(bench_path: &str, results: &[(String, String, f64)]) {
+    let floor_path = std::path::Path::new(bench_path)
+        .with_file_name("BENCH_floor.json")
+        .to_string_lossy()
+        .into_owned();
+    let Ok(text) = std::fs::read_to_string(&floor_path) else {
+        println!("check_bench_json: no {floor_path}, skipping throughput ratchet");
+        return;
+    };
+    let doc = Json::parse(&text).unwrap_or_else(|e| fail(format!("{floor_path}: {e}")));
+    if require_str(&doc, "schema", &floor_path) != "paradyn.bench.floor.v1" {
+        fail(format!("{floor_path}: unknown schema"));
+    }
+    let margin = doc
+        .get("ratchet_margin")
+        .and_then(Json::as_num)
+        .unwrap_or(1.5);
+    if !(margin >= 1.0) {
+        fail(format!("{floor_path}: `ratchet_margin` must be >= 1"));
+    }
+    let floors = doc
+        .get("floors")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail(format!("{floor_path}: missing `floors` array")));
+    if floors.is_empty() {
+        fail(format!("{floor_path}: empty `floors`"));
+    }
+    let mut regressions = vec![];
+    let mut checked = 0usize;
+    for (i, f) in floors.iter().enumerate() {
+        let ctx = format!("{floor_path} floors[{i}]");
+        let name = require_str(f, "name", &ctx);
+        let cal = require_str(f, "calendar", &ctx);
+        let floor = require_num(f, "min_events_per_sec", &ctx);
+        if !(floor > 0.0) {
+            fail(format!("{ctx}: `min_events_per_sec` must be > 0"));
+        }
+        let Some(&(_, _, eps)) = results
+            .iter()
+            .find(|(n, c, _)| n == name && c == cal)
+        else {
+            fail(format!(
+                "{ctx}: floor for `{name}`/{cal} has no matching bench result"
+            ));
+        };
+        checked += 1;
+        if eps < floor {
+            regressions.push(format!(
+                "  {name}/{cal}: {eps:.0} events/s is below the floor of {floor:.0} \
+                 ({:.1}% of floor)",
+                100.0 * eps / floor
+            ));
+        } else if eps > floor * margin {
+            println!(
+                "check_bench_json: ratchet hint: {name}/{cal} at {eps:.0} events/s has \
+                 {:.2}x headroom over its {floor:.0} floor — consider raising it",
+                eps / floor
+            );
+        }
+    }
+    if !regressions.is_empty() {
+        fail(format!(
+            "throughput regression against {floor_path}:\n{}",
+            regressions.join("\n")
+        ));
+    }
+    println!("check_bench_json: {floor_path} ok ({checked} floors held)");
 }
 
 fn main() {
@@ -40,6 +117,7 @@ fn main() {
         fail(format!("{path}: empty `results`"));
     }
     let mut names = vec![];
+    let mut measured: Vec<(String, String, f64)> = vec![];
     for (i, r) in results.iter().enumerate() {
         let ctx = format!("{path} results[{i}]");
         let name = require_str(r, "name", &ctx).to_string();
@@ -67,6 +145,7 @@ fn main() {
         for key in ["live", "occupied_buckets", "slab_slots"] {
             require_num(occ, key, &format!("{ctx} occupancy"));
         }
+        measured.push((name.clone(), cal.to_string(), eps));
         names.push(name);
     }
     let speedups = doc
@@ -89,4 +168,11 @@ fn main() {
         results.len(),
         speedups.len()
     );
+    // The throughput ratchet only applies to full (non-smoke) runs; smoke
+    // runs use a single unwarmed iteration and would trip any honest floor.
+    if matches!(doc.get("smoke"), Some(Json::Bool(true))) {
+        println!("check_bench_json: smoke run, skipping throughput ratchet");
+    } else {
+        check_floors(&path, &measured);
+    }
 }

@@ -10,6 +10,7 @@
 //! performance of the simulator itself.
 
 pub mod analytic_figs;
+pub mod degrade_figs;
 pub mod fault_figs;
 pub mod fig8;
 pub mod fmt;
@@ -30,7 +31,7 @@ pub const ARTIFACTS: &[&str] = &[
     "table1", "table2", "table3", "fig8", "fig9", "fig10", "fig12", "fig13", "fig14", "fig15",
     "table4", "fig16", "fig17", "fig18", "fig19", "table5", "fig20", "fig21", "fig22", "fig23",
     "fig24", "table6", "fig25", "fig26", "fig27", "fig28", "fig30", "table7", "fig31", "table8",
-    "faults",
+    "faults", "degradation",
 ];
 
 /// Run one artifact by id. Returns `false` for an unknown id.
@@ -67,6 +68,7 @@ pub fn run_artifact(id: &str, scale: &Scale) -> bool {
         "fig31" => testbed_figs::run_fig31(scale),
         "table8" => testbed_figs::run_table8(scale),
         "faults" => fault_figs::run_faults(scale),
+        "degradation" => degrade_figs::run_degradation(scale),
         _ => return false,
     }
     true
@@ -78,7 +80,7 @@ mod tests {
 
     #[test]
     fn artifact_list_is_complete_and_dispatchable() {
-        assert_eq!(ARTIFACTS.len(), 31);
+        assert_eq!(ARTIFACTS.len(), 32);
         assert!(!run_artifact("fig99", &Scale::quick()));
     }
 }

@@ -147,6 +147,99 @@ impl Default for ConsumerStallFaults {
     }
 }
 
+/// Closed-loop graceful degradation (Section 6: the IS "adapt\[s\] its
+/// behavior in order to regulate overheads"). Two coupled mechanisms:
+///
+/// * **Source throttling** — each application process runs a multiplicative
+///   decrease / additive recovery controller on its sampling period. When
+///   its pipe occupancy crosses `pipe_hi × capacity` (rising edge) the
+///   effective sampling period is multiplied by `md_factor` (bounded by
+///   `max_slowdown`); once occupancy has stayed below `pipe_lo × capacity`
+///   for `hysteresis_us`, a recovery tick every `recover_period_us`
+///   (jittered on a dedicated RNG stream) subtracts `recover_step` from the
+///   slowdown until it returns to 1.
+/// * **Daemon shedding with backpressure propagation** — each daemon sheds
+///   buffered samples from sheddable priority tiers while its fifo length
+///   is at or above `daemon_hi` (until it falls back to `daemon_lo`), and
+///   on a tree topology propagates the pressure edge to its children so
+///   upstream daemons shed *before* downstream pipes overflow.
+///
+/// Samples carry a priority tier derived from their metric (app) index:
+/// `tier = app_index % tiers`, tier 0 highest. Tiers `< keep_tiers` are
+/// protected and never shed.
+///
+/// All controller decisions happen at event boundaries on dedicated RNG
+/// streams, so a run with `degradation: None` is bitwise-identical to the
+/// pre-degradation model.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradationConfig {
+    /// Number of priority tiers (1..=4); sample tier = app index % tiers.
+    pub tiers: usize,
+    /// Protected top tiers that are never shed (1..=tiers).
+    pub keep_tiers: usize,
+    /// Pipe-occupancy high watermark as a fraction of capacity; crossing it
+    /// applies multiplicative decrease to the writer's sampling rate.
+    pub pipe_hi: f64,
+    /// Pipe-occupancy low watermark (fraction of capacity); the pressure
+    /// condition clears once occupancy falls below it.
+    pub pipe_lo: f64,
+    /// Daemon fifo-length high watermark; at or above it the daemon sheds
+    /// sheddable tiers and signals pressure down the tree.
+    pub daemon_hi: usize,
+    /// Daemon fifo-length low watermark; shedding stops below it.
+    pub daemon_lo: usize,
+    /// Sampling-period multiplier applied on each pressure rising edge.
+    pub md_factor: f64,
+    /// Upper bound on the accumulated sampling-period multiplier.
+    pub max_slowdown: f64,
+    /// Additive decrement of the multiplier per recovery tick.
+    pub recover_step: f64,
+    /// Mean interval between recovery ticks (µs, jittered).
+    pub recover_period_us: f64,
+    /// How long the pressure condition must stay clear before recovery
+    /// ticks start reducing the slowdown (µs).
+    pub hysteresis_us: f64,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            tiers: 2,
+            keep_tiers: 1,
+            pipe_hi: 0.75,
+            pipe_lo: 0.25,
+            daemon_hi: 64,
+            daemon_lo: 16,
+            md_factor: 2.0,
+            max_slowdown: 8.0,
+            recover_step: 0.25,
+            recover_period_us: 50_000.0,
+            hysteresis_us: 100_000.0,
+        }
+    }
+}
+
+/// A step overload ramp: at `at_s` simulated seconds the offered sampling
+/// load of every application process is multiplied by `factor` (the
+/// sampling period is divided by it). `factor == 1` is inert. Drives the
+/// degradation bench artifact and the chaos scenarios.
+#[derive(Clone, Copy, Debug)]
+pub struct OverloadRamp {
+    /// When the ramp fires (simulated seconds).
+    pub at_s: f64,
+    /// Offered-load multiplier from `at_s` onward (>= 1).
+    pub factor: f64,
+}
+
+impl Default for OverloadRamp {
+    fn default() -> Self {
+        OverloadRamp {
+            at_s: 1.0,
+            factor: 2.0,
+        }
+    }
+}
+
 /// The complete fault-injection plan of a run. The default plan injects
 /// nothing and uses the paper's blocking pipes, so existing configurations
 /// behave bit-identically to the fault-free model.
@@ -221,6 +314,11 @@ pub struct SimConfig {
     pub background: bool,
     /// Fault-injection plan (default: no faults, blocking pipes).
     pub faults: FaultPlan,
+    /// Graceful-degradation controller (`None` = off: no watermarks, no
+    /// throttling, no shedding — bitwise-identical to the base model).
+    pub degradation: Option<DegradationConfig>,
+    /// Step overload ramp (`None` = constant offered load).
+    pub overload: Option<OverloadRamp>,
 }
 
 impl Default for SimConfig {
@@ -246,6 +344,8 @@ impl Default for SimConfig {
             instrumented: true,
             background: true,
             faults: FaultPlan::default(),
+            degradation: None,
+            overload: None,
         }
     }
 }
@@ -359,6 +459,49 @@ impl SimConfig {
         if let Some(s) = &self.faults.stall {
             if s.interval_us <= 0.0 || s.stall_us <= 0.0 {
                 return Err("consumer-stall interval and duration must be positive".into());
+            }
+        }
+        if let Some(d) = &self.degradation {
+            if d.tiers == 0 || d.tiers > crate::metrics::MAX_TIERS {
+                return Err(format!(
+                    "degradation tiers must be in 1..={}",
+                    crate::metrics::MAX_TIERS
+                ));
+            }
+            if d.keep_tiers == 0 || d.keep_tiers > d.tiers {
+                return Err("degradation keep_tiers must satisfy 1 <= keep <= tiers".into());
+            }
+            if !(d.pipe_lo > 0.0 && d.pipe_lo < d.pipe_hi && d.pipe_hi <= 1.0) {
+                return Err("degradation pipe watermarks must satisfy 0 < lo < hi <= 1".into());
+            }
+            if d.daemon_lo >= d.daemon_hi {
+                return Err("degradation daemon watermarks must satisfy lo < hi".into());
+            }
+            if d.md_factor <= 1.0 {
+                return Err("degradation md_factor must be > 1".into());
+            }
+            if d.max_slowdown < d.md_factor {
+                return Err("degradation max_slowdown must be >= md_factor".into());
+            }
+            if d.recover_step <= 0.0 {
+                return Err("degradation recover_step must be positive".into());
+            }
+            if d.recover_period_us <= 0.0 || d.hysteresis_us < 0.0 {
+                return Err(
+                    "degradation recover period must be positive and hysteresis non-negative"
+                        .into(),
+                );
+            }
+        }
+        if let Some(o) = &self.overload {
+            if o.at_s < 0.0 {
+                return Err("overload ramp time must be non-negative".into());
+            }
+            if o.factor < 1.0 {
+                return Err("overload factor must be >= 1".into());
+            }
+            if o.factor > 64.0 {
+                return Err("overload factor unreasonably large (> 64)".into());
             }
         }
         Ok(())
@@ -519,6 +662,116 @@ mod tests {
         ] {
             let cfg = SimConfig {
                 faults,
+                ..base.clone()
+            };
+            assert!(cfg.validate().is_err(), "expected rejection: {msg}");
+        }
+    }
+
+    #[test]
+    fn default_degradation_and_overload_are_valid() {
+        let cfg = SimConfig {
+            degradation: Some(DegradationConfig::default()),
+            overload: Some(OverloadRamp::default()),
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
+        // And the off state is the SimConfig default.
+        assert!(SimConfig::default().degradation.is_none());
+        assert!(SimConfig::default().overload.is_none());
+    }
+
+    #[test]
+    fn invalid_degradation_configs_are_rejected() {
+        let base = SimConfig::default();
+        let d = DegradationConfig::default;
+        for (msg, deg) in [
+            ("zero tiers", DegradationConfig { tiers: 0, ..d() }),
+            ("too many tiers", DegradationConfig { tiers: 9, ..d() }),
+            (
+                "keep > tiers",
+                DegradationConfig {
+                    tiers: 2,
+                    keep_tiers: 3,
+                    ..d()
+                },
+            ),
+            ("zero keep", DegradationConfig { keep_tiers: 0, ..d() }),
+            (
+                "lo >= hi pipe",
+                DegradationConfig {
+                    pipe_lo: 0.8,
+                    pipe_hi: 0.8,
+                    ..d()
+                },
+            ),
+            (
+                "hi > 1 pipe",
+                DegradationConfig { pipe_hi: 1.5, ..d() },
+            ),
+            (
+                "lo >= hi daemon",
+                DegradationConfig {
+                    daemon_lo: 64,
+                    daemon_hi: 64,
+                    ..d()
+                },
+            ),
+            ("md <= 1", DegradationConfig { md_factor: 1.0, ..d() }),
+            (
+                "max < md",
+                DegradationConfig {
+                    max_slowdown: 1.5,
+                    md_factor: 2.0,
+                    ..d()
+                },
+            ),
+            (
+                "zero recover step",
+                DegradationConfig {
+                    recover_step: 0.0,
+                    ..d()
+                },
+            ),
+            (
+                "zero recover period",
+                DegradationConfig {
+                    recover_period_us: 0.0,
+                    ..d()
+                },
+            ),
+        ] {
+            let cfg = SimConfig {
+                degradation: Some(deg),
+                ..base.clone()
+            };
+            assert!(cfg.validate().is_err(), "expected rejection: {msg}");
+        }
+        for (msg, ramp) in [
+            (
+                "negative ramp time",
+                OverloadRamp {
+                    at_s: -1.0,
+                    factor: 2.0,
+                },
+            ),
+            (
+                "factor < 1",
+                OverloadRamp {
+                    at_s: 1.0,
+                    factor: 0.5,
+                },
+            ),
+            (
+                "huge factor",
+                OverloadRamp {
+                    at_s: 1.0,
+                    factor: 100.0,
+                },
+            ),
+        ] {
+            let cfg = SimConfig {
+                overload: Some(ramp),
                 ..base.clone()
             };
             assert!(cfg.validate().is_err(), "expected rejection: {msg}");

@@ -39,8 +39,8 @@ pub mod pipe;
 pub mod validate;
 
 pub use config::{
-    AdaptiveBatch, Arch, ConsumerStallFaults, DaemonCrashFaults, FaultPlan, Forwarding,
-    LinkFaults, SampleTiming, SimConfig,
+    AdaptiveBatch, Arch, ConsumerStallFaults, DaemonCrashFaults, DegradationConfig, FaultPlan,
+    Forwarding, LinkFaults, OverloadRamp, SampleTiming, SimConfig,
 };
 pub use experiment::{
     default_threads, replication_seed, run, run_forked, run_many, run_perturbed_from_zero,

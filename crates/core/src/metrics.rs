@@ -9,6 +9,11 @@ use crate::model::RoccModel;
 use paradyn_des::{SimDur, SimTime};
 use paradyn_workload::ProcessClass;
 
+/// Maximum number of priority tiers the degradation controller supports
+/// (fixed so per-tier counters are plain arrays with a stable snapshot
+/// layout).
+pub const MAX_TIERS: usize = 4;
+
 /// Aggregated results of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimMetrics {
@@ -79,6 +84,19 @@ pub struct SimMetrics {
     pub lost_daemon_crash: u64,
     /// Samples lost to exhausted forwarding-link retries.
     pub lost_link: u64,
+    /// Samples deliberately shed by the degradation controller (buffered
+    /// low-priority samples discarded under backpressure). Not part of
+    /// `samples_lost`: conservation is
+    /// `emitted == received + lost + shed + in-flight`.
+    pub shed_samples: u64,
+    /// Shed samples broken down by priority tier (tier 0 highest; unused
+    /// tiers stay zero).
+    pub shed_by_tier: [u64; MAX_TIERS],
+    /// Pressure rising edges seen by application throttle controllers
+    /// (multiplicative-decrease applications).
+    pub throttle_events: u64,
+    /// Backpressure edges propagated down the forwarding tree.
+    pub backpressure_events: u64,
     /// Samples still in flight at the horizon (parked, buffered, or in an
     /// unconsumed batch).
     pub samples_in_flight: u64,
@@ -197,6 +215,10 @@ impl SimMetrics {
             lost_while_blocked: m.acc.lost_blocked,
             lost_daemon_crash: m.acc.lost_crash,
             lost_link: m.acc.lost_link,
+            shed_samples: m.acc.shed_by_tier.iter().sum(),
+            shed_by_tier: m.acc.shed_by_tier,
+            throttle_events: m.acc.throttle_events,
+            backpressure_events: m.acc.backpressure_events,
             samples_in_flight: m.samples_in_flight(),
             rejected_deposits: m.total_rejected_deposits(),
             writer_block_time_s: (m.acc.writer_block_us + open_block_us) * 1e-6,

@@ -115,22 +115,37 @@ impl RoccModel {
     /// Deposit one sample generated now into `app`'s pipe, waking the
     /// daemon if it can start a collection cycle. Every call counts as one
     /// emission attempt, whatever its fate — the conservation invariant
-    /// (emitted == received + lost + in-flight) is anchored here.
+    /// (emitted == received + lost + shed + in-flight) is anchored here.
     pub(crate) fn deposit_sample(&mut self, ctx: &mut Ctx<Ev>, app: AppId) {
         let now = ctx.now();
         self.acc.emitted_samples += 1;
-        let a = &mut self.apps[app as usize];
-        if a.pipe.writer_blocked() {
+        if self.apps[app as usize].pipe.writer_blocked() {
             // Already blocked on an earlier sample; drop this event record
             // (the writer is stuck inside the earlier write).
             self.acc.lost_blocked += 1;
             return;
         }
-        let pd = a.pd;
+        let pd = self.apps[app as usize].pd;
+        // Source-side shedding: while the owning daemon is under pressure,
+        // sheddable-tier samples are discarded before they enter the pipe.
+        if let Some(deg) = self.cfg.degradation {
+            let tier = super::degrade::app_tier(app, &deg);
+            if self.daemon_pressure(pd) && super::degrade::tier_sheddable(tier, &deg) {
+                self.acc.shed_by_tier[tier] += 1;
+                return;
+            }
+        }
+        let a = &mut self.apps[app as usize];
         match a.pipe.deposit(now) {
             Deposit::Accepted => {
                 self.acc.generated_samples += 1;
                 self.daemons[pd as usize].fifo.push_back((now, app));
+                if self.cfg.degradation.is_some() {
+                    // Occupancy and FIFO length both rose; check watermarks
+                    // before the daemon starts a collection cycle.
+                    self.degradation_pipe_check(ctx, app);
+                    self.degradation_daemon_check(ctx, pd);
+                }
                 self.maybe_collect(ctx, pd);
             }
             Deposit::WouldBlock => {

@@ -67,6 +67,11 @@ impl RoccModel {
             },
             demand,
         );
+        if self.cfg.degradation.is_some() {
+            // The FIFO shrank by a batch; a shedding daemon may now be back
+            // below its low watermark (falling edge → credit).
+            self.degradation_daemon_check(ctx, pd);
+        }
         true
     }
 
@@ -154,6 +159,10 @@ impl RoccModel {
         );
         for app in drain_apps {
             self.drain_one(ctx, app);
+        }
+        if self.cfg.degradation.is_some() {
+            // Draining may have admitted parked samples into the FIFO.
+            self.degradation_daemon_check(ctx, pd);
         }
         self.daemons[pd as usize].collecting = false;
         if self.daemons[pd as usize].doomed {
@@ -262,6 +271,12 @@ impl RoccModel {
         for (_gen, app) in entries {
             self.drain_one(ctx, app);
         }
+        if self.cfg.degradation.is_some() {
+            // The crash emptied the FIFO (parked admissions aside): a
+            // shedding daemon clears its own pressure, though remote
+            // pressure from an ancestor persists across the outage.
+            self.degradation_daemon_check(ctx, pd);
+        }
         let delay = self.daemons[pd as usize]
             .crash
             .as_mut()
@@ -299,7 +314,7 @@ impl RoccModel {
 
     /// Consume one pipe slot of `app`; if a parked sample was waiting, admit
     /// it and resume the blocked writer (timer and paused step).
-    fn drain_one(&mut self, ctx: &mut Ctx<Ev>, app: u32) {
+    pub(crate) fn drain_one(&mut self, ctx: &mut Ctx<Ev>, app: u32) {
         let a = &mut self.apps[app as usize];
         let pd = a.pd;
         if let Some(gen) = a.pipe.drain() {
@@ -318,6 +333,11 @@ impl RoccModel {
                 Some(Step::Comm) => self.app_start_step(ctx, app, Step::Comm),
                 None => {}
             }
+        }
+        if self.cfg.degradation.is_some() {
+            // Occupancy fell (or a parked sample was admitted); only the
+            // falling pipe edge can fire here.
+            self.degradation_pipe_check(ctx, app);
         }
     }
 

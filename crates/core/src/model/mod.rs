@@ -17,6 +17,7 @@
 mod app;
 mod background;
 mod daemon;
+mod degrade;
 pub mod snapshot;
 #[cfg(test)]
 mod tests;
@@ -34,20 +35,47 @@ use std::collections::VecDeque;
 use types::{class_idx, AppId, Batch, CpuJob, CpuKind, Dest, Ev, NetJob, PdId, Token, TokenSlab};
 
 /// Stream-id kinds for reproducible per-element randomness.
-mod stream_kind {
+///
+/// Documented allocation (enforced by `paradyn-lint`'s `rng-stream-id`
+/// rule): ids 11–13 are reserved for `FAULT_*` fault-injection streams,
+/// 14–15 for `CTRL_*` degradation-controller streams, and 16 for the
+/// `CHAOS_*` chaos-scenario derivation stream, so an inert fault plan or
+/// degradation config leaves every other stream untouched.
+pub mod stream_kind {
+    /// Application CPU-burst demands.
     pub const APP_CPU: u64 = 1;
+    /// Application communication-burst demands.
     pub const APP_NET: u64 = 2;
+    /// Application sampling-timer gaps.
     pub const APP_SAMPLE: u64 = 3;
+    /// Daemon collect/forward CPU demands.
     pub const PD_CPU: u64 = 4;
+    /// Daemon network occupancy demands.
     pub const PD_NET: u64 = 5;
+    /// Daemon tree-merge CPU demands.
     pub const PD_MERGE: u64 = 6;
+    /// PVM-daemon background load.
     pub const PVMD: u64 = 7;
+    /// Other-process background CPU load.
     pub const OTHER_CPU: u64 = 8;
+    /// Other-process background network load.
     pub const OTHER_NET: u64 = 9;
+    /// Main-process per-message CPU demands.
     pub const MAIN: u64 = 10;
+    /// Daemon crash/recovery schedule (fault injection).
     pub const FAULT_CRASH: u64 = 11;
+    /// Forwarding-link failure draws (fault injection).
     pub const FAULT_LINK: u64 = 12;
+    /// Consumer-stall inter-arrival draws (fault injection).
     pub const FAULT_STALL: u64 = 13;
+    /// Per-application throttle recovery-tick jitter (degradation
+    /// controller; drawn only when a degradation config is active).
+    pub const CTRL_THROTTLE: u64 = 14;
+    /// Per-daemon backpressure signalling jitter (degradation controller;
+    /// drawn only when a degradation config is active).
+    pub const CTRL_SHED: u64 = 15;
+    /// Chaos-search scenario derivation (one sub-seed per scenario index).
+    pub const CHAOS_SCENARIO: u64 = 16;
 }
 
 /// One application process's simulation state.
@@ -83,6 +111,18 @@ pub(crate) struct AppProc {
     pub replay_cpu_pos: u64,
     /// Next replay position for network bursts (replay mode only).
     pub replay_net_pos: u64,
+    /// Randomness for throttle recovery-tick jitter (degradation
+    /// controller; untouched unless degradation is configured).
+    pub throttle_rng: StreamRng,
+    /// Current sampling-period multiplier (>= 1; 1 = no throttling).
+    pub throttle_mult: f64,
+    /// Whether the pipe is above its high watermark (pressure condition).
+    pub pressured: bool,
+    /// When the pressure condition last cleared (for recovery hysteresis);
+    /// `None` while pressured or never pressured.
+    pub pressure_cleared_at: Option<SimTime>,
+    /// Whether a throttle recovery tick is currently scheduled.
+    pub throttle_tick_armed: bool,
 }
 
 /// What an application process does next.
@@ -136,6 +176,15 @@ pub(crate) struct Daemon {
     pub link_rng: StreamRng,
     /// Fault-cost bookkeeping (crashes, losses, retries, downtime).
     pub fault_mon: FaultMonitor,
+    /// Whether this daemon's own fifo is above its high watermark and the
+    /// daemon is shedding sheddable tiers.
+    pub shedding: bool,
+    /// Whether an ancestor in the forwarding tree signalled pressure (shed
+    /// on its behalf until the credit edge arrives).
+    pub remote_pressure: bool,
+    /// Randomness for backpressure signalling jitter (degradation
+    /// controller; untouched unless degradation is configured).
+    pub shed_rng: StreamRng,
 }
 
 /// Internal metric accumulators.
@@ -172,6 +221,13 @@ pub(crate) struct Acc {
     pub writer_block_us: f64,
     /// CPU time injected by consumer-stall faults (µs).
     pub stall_injected_us: f64,
+    /// Samples deliberately shed by the degradation controller, by priority
+    /// tier. Conservation: emitted == received + lost + shed + in-flight.
+    pub shed_by_tier: [u64; crate::metrics::MAX_TIERS],
+    /// Pressure rising edges seen by app throttle controllers.
+    pub throttle_events: u64,
+    /// Backpressure edges propagated down the forwarding tree.
+    pub backpressure_events: u64,
 }
 
 /// The full system model.
@@ -189,6 +245,9 @@ pub struct RoccModel {
     pub(crate) pvmd_rngs: Vec<StreamRng>,
     pub(crate) other_rngs: Vec<StreamRng>,
     pub(crate) stall_rng: StreamRng,
+    /// Whether the configured overload ramp has fired (offered load is
+    /// multiplied from that point on).
+    pub(crate) overload_on: bool,
     pub(crate) acc: Acc,
 }
 
@@ -246,6 +305,11 @@ impl RoccModel {
                     // in lockstep.
                     replay_cpu_pos: gi as u64 * 1009,
                     replay_net_pos: gi as u64 * 1013,
+                    throttle_rng: streams.stream3(stream_kind::CTRL_THROTTLE, gi as u64, 0),
+                    throttle_mult: 1.0,
+                    pressured: false,
+                    pressure_cleared_at: None,
+                    throttle_tick_armed: false,
                 }
             })
             .collect();
@@ -286,6 +350,9 @@ impl RoccModel {
                 }),
                 link_rng: streams.stream3(stream_kind::FAULT_LINK, pd as u64, 0),
                 fault_mon: FaultMonitor::new(),
+                shedding: false,
+                remote_pressure: false,
+                shed_rng: streams.stream3(stream_kind::CTRL_SHED, pd as u64, 0),
             })
             .collect();
         let bg_nodes = match cfg.arch {
@@ -316,6 +383,7 @@ impl RoccModel {
             // in-flight hops; 4 per daemon covers the steady state.
             tokens: TokenSlab::with_capacity(total_pds * 4),
             barrier_waiting: Vec::with_capacity(total_apps),
+            overload_on: false,
             acc: Acc::default(),
         }
     }
@@ -546,6 +614,9 @@ impl Model for RoccModel {
                 demand_us,
             } => self.submit_forward(ctx, pd, token, demand_us),
             Ev::MainStall => self.main_stall(ctx),
+            Ev::ThrottleTick { app } => self.throttle_tick(ctx, app),
+            Ev::Backpressure { pd, on } => self.backpressure_signal(ctx, pd, on),
+            Ev::OverloadRamp => self.overload_on = true,
         }
     }
 }
@@ -580,6 +651,13 @@ impl RoccModel {
                 let gap = self.draw_stall_gap();
                 ctx.schedule_in(gap, Ev::MainStall);
             }
+            // Like fault injection, an overload ramp schedules nothing when
+            // it is inert (factor 1), so such configs stay bit-identical.
+            if let Some(o) = self.cfg.overload {
+                if o.factor > 1.0 {
+                    ctx.schedule_at(SimTime::from_secs_f64(o.at_s), Ev::OverloadRamp);
+                }
+            }
         }
         if self.cfg.background {
             for node in 0..self.pvmd_rngs.len() as u32 {
@@ -594,9 +672,20 @@ impl RoccModel {
     }
 
     /// Schedule the next sampling-timer firing for `app`.
+    ///
+    /// The effective period is the configured one divided by the overload
+    /// factor once the ramp has fired, then multiplied by the app's throttle
+    /// multiplier. Both adjustments are exact no-ops when inert (factor 1 /
+    /// multiplier 1), so inert configs draw bit-identical gaps.
     pub(crate) fn schedule_next_sample(&mut self, ctx: &mut Ctx<Ev>, app: AppId) {
+        let mut period = self.cfg.sampling_period_us;
+        if self.overload_on {
+            if let Some(o) = self.cfg.overload {
+                period /= o.factor;
+            }
+        }
         let a = &mut self.apps[app as usize];
-        let period = self.cfg.sampling_period_us;
+        let period = period * a.throttle_mult;
         let gap = match self.cfg.sampling {
             SampleTiming::Exponential => {
                 paradyn_stats::Rv::exp(period).sample(&mut a.sample_rng)

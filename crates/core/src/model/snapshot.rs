@@ -53,6 +53,11 @@ impl Persist for AppProc {
         w.put_bool(self.at_barrier);
         w.put_u64(self.replay_cpu_pos);
         w.put_u64(self.replay_net_pos);
+        self.throttle_rng.save(w);
+        w.put_f64(self.throttle_mult);
+        w.put_bool(self.pressured);
+        self.pressure_cleared_at.save(w);
+        w.put_bool(self.throttle_tick_armed);
     }
     fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
         Ok(AppProc {
@@ -70,6 +75,11 @@ impl Persist for AppProc {
             at_barrier: r.take_bool()?,
             replay_cpu_pos: r.take_u64()?,
             replay_net_pos: r.take_u64()?,
+            throttle_rng: Persist::load(r)?,
+            throttle_mult: r.take_f64()?,
+            pressured: r.take_bool()?,
+            pressure_cleared_at: Persist::load(r)?,
+            throttle_tick_armed: r.take_bool()?,
         })
     }
 }
@@ -94,6 +104,9 @@ impl Persist for Daemon {
         self.crash.save(w);
         self.link_rng.save(w);
         self.fault_mon.save(w);
+        w.put_bool(self.shedding);
+        w.put_bool(self.remote_pressure);
+        self.shed_rng.save(w);
     }
     fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
         let d = Daemon {
@@ -115,6 +128,9 @@ impl Persist for Daemon {
             crash: Persist::load(r)?,
             link_rng: Persist::load(r)?,
             fault_mon: Persist::load(r)?,
+            shedding: r.take_bool()?,
+            remote_pressure: r.take_bool()?,
+            shed_rng: Persist::load(r)?,
         };
         if d.batch == 0 {
             return Err(SnapError::Malformed("daemon batch threshold of zero"));
@@ -143,6 +159,11 @@ impl Persist for Acc {
         w.put_u64(self.lost_link);
         w.put_f64(self.writer_block_us);
         w.put_f64(self.stall_injected_us);
+        for v in &self.shed_by_tier {
+            w.put_u64(*v);
+        }
+        w.put_u64(self.throttle_events);
+        w.put_u64(self.backpressure_events);
     }
     fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
         let mut acc = Acc::default();
@@ -164,6 +185,11 @@ impl Persist for Acc {
         acc.lost_link = r.take_u64()?;
         acc.writer_block_us = r.take_f64()?;
         acc.stall_injected_us = r.take_f64()?;
+        for v in &mut acc.shed_by_tier {
+            *v = r.take_u64()?;
+        }
+        acc.throttle_events = r.take_u64()?;
+        acc.backpressure_events = r.take_u64()?;
         Ok(acc)
     }
 }
@@ -187,6 +213,7 @@ impl PersistState for RoccModel {
         self.pvmd_rngs.save(w);
         self.other_rngs.save(w);
         self.stall_rng.save(w);
+        w.put_bool(self.overload_on);
         self.acc.save(w);
     }
 
@@ -229,6 +256,7 @@ impl PersistState for RoccModel {
             return Err(SnapError::Malformed("other stream count differs from config"));
         }
         let stall_rng: StreamRng = Persist::load(r)?;
+        let overload_on = r.take_bool()?;
         let acc: Acc = Persist::load(r)?;
         self.banks = banks;
         self.shared_net = shared_net;
@@ -240,6 +268,7 @@ impl PersistState for RoccModel {
         self.pvmd_rngs = pvmd_rngs;
         self.other_rngs = other_rngs;
         self.stall_rng = stall_rng;
+        self.overload_on = overload_on;
         self.acc = acc;
         Ok(())
     }
@@ -249,7 +278,7 @@ impl RoccModel {
     /// Decorrelate every random stream in the model from its pre-fork
     /// history by perturbing each with a sub-salt derived from `salt`.
     ///
-    /// The iteration order (apps' three streams, then each daemon's four
+    /// The iteration order (apps' four streams, then each daemon's five
     /// streams plus its crash schedule, then main/background/stall) is part
     /// of the format: identical `(state, salt)` always yields identical
     /// perturbed state, which the fork-equivalence tests rely on.
@@ -263,12 +292,14 @@ impl RoccModel {
             a.cpu_rng.perturb(sub());
             a.net_rng.perturb(sub());
             a.sample_rng.perturb(sub());
+            a.throttle_rng.perturb(sub());
         }
         for d in &mut self.daemons {
             d.cpu_rng.perturb(sub());
             d.net_rng.perturb(sub());
             d.merge_rng.perturb(sub());
             d.link_rng.perturb(sub());
+            d.shed_rng.perturb(sub());
             if let Some(crash) = &mut d.crash {
                 crash.perturb(sub());
             }

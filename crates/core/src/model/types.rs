@@ -254,6 +254,24 @@ pub enum Ev {
     /// Injected fault: the main process's host CPU absorbs a burst of
     /// competing work, stalling message consumption.
     MainStall,
+    /// Degradation-controller recovery tick: an app with a throttled
+    /// sampling rate attempts an additive-recovery step (and re-arms while
+    /// its multiplier exceeds 1).
+    ThrottleTick {
+        /// The throttled application process.
+        app: AppId,
+    },
+    /// A backpressure (`on`) or credit (`!on`) edge arriving at daemon `pd`
+    /// from its parent in the forwarding tree, after signalling jitter.
+    Backpressure {
+        /// The receiving daemon.
+        pd: PdId,
+        /// Pressure rising (`true`) or clearing (`false`).
+        on: bool,
+    },
+    /// The configured overload ramp fires: offered sampling load is
+    /// multiplied by the ramp factor from this instant on.
+    OverloadRamp,
 }
 
 /// Payload of an in-flight batch of samples.
@@ -545,6 +563,16 @@ impl Persist for Ev {
                 w.put_f64(demand_us);
             }
             Ev::MainStall => w.put_u8(13),
+            Ev::ThrottleTick { app } => {
+                w.put_u8(14);
+                w.put_u32(app);
+            }
+            Ev::Backpressure { pd, on } => {
+                w.put_u8(15);
+                w.put_u32(pd);
+                w.put_bool(on);
+            }
+            Ev::OverloadRamp => w.put_u8(16),
         }
     }
     fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
@@ -573,6 +601,12 @@ impl Persist for Ev {
                 demand_us: r.take_f64()?,
             },
             13 => Ev::MainStall,
+            14 => Ev::ThrottleTick { app: r.take_u32()? },
+            15 => Ev::Backpressure {
+                pd: r.take_u32()?,
+                on: r.take_bool()?,
+            },
+            16 => Ev::OverloadRamp,
             _ => return Err(SnapError::Malformed("Ev tag")),
         })
     }

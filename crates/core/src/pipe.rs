@@ -182,6 +182,17 @@ impl Pipe {
     pub fn is_full(&self) -> bool {
         self.occupied >= self.capacity
     }
+
+    /// Total slots in the pipe.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupancy as a fraction of capacity, in `[0, 1]` — the quantity the
+    /// degradation watermarks are defined over.
+    pub fn fill_frac(&self) -> f64 {
+        self.occupied as f64 / self.capacity as f64
+    }
 }
 
 impl paradyn_des::Persist for Pipe {

@@ -48,8 +48,9 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "rng-stream-id",
         "RNG stream ids must come from the stream_kind registry; raw literal ids \
-         can silently collide with an allocated stream (fault streams 11-13) and \
-         correlate supposedly independent draws",
+         can silently collide with an allocated stream (fault streams 11-13, \
+         controller streams 14-15, chaos stream 16) and correlate supposedly \
+         independent draws",
     ),
     (
         "hermeticity",
@@ -83,12 +84,23 @@ const PANIC_PATHS: &[&str] = &[
     "crates/des/src/calendar.rs",
     "crates/des/src/engine.rs",
     "crates/des/src/snapshot.rs",
+    "crates/core/src/model/degrade.rs",
+    "src/chaos.rs",
 ];
 
 /// The documented fault-stream allocation (DESIGN.md §6): ids 11-13 are
 /// reserved for fault injection and must carry FAULT_* names, so an inert
 /// fault plan leaves every other stream untouched.
 pub const FAULT_STREAM_IDS: std::ops::RangeInclusive<u64> = 11..=13;
+
+/// Degradation-controller stream allocation (DESIGN.md §9): ids 14-15 are
+/// reserved for CTRL_* streams, so an inert degradation config leaves
+/// every other stream untouched.
+pub const CTRL_STREAM_IDS: std::ops::RangeInclusive<u64> = 14..=15;
+
+/// Chaos-search stream allocation (DESIGN.md §9): id 16 is reserved for
+/// CHAOS_* scenario derivation, which must never overlap a model stream.
+pub const CHAOS_STREAM_IDS: std::ops::RangeInclusive<u64> = 16..=16;
 
 /// First path segments always permitted in `use` paths.
 const STD_SEGMENTS: &[&str] = &["std", "core", "alloc", "crate", "self", "super"];
@@ -323,24 +335,35 @@ pub fn rng_registry_collisions(registry: &[StreamIdEntry]) -> Vec<Finding> {
                 ),
             });
         }
-        let in_fault_range = FAULT_STREAM_IDS.contains(&e.id);
-        let fault_named = e.name.starts_with("FAULT_");
-        if in_fault_range != fault_named {
-            out.push(Finding {
-                rule: "rng-stream-id",
-                path: e.path.clone(),
-                line: e.line,
-                col: 1,
-                message: format!(
-                    "stream `{}` = {} violates the documented allocation: ids \
-                     {}-{} are reserved for FAULT_* streams (DESIGN.md §6) so an \
-                     inert fault plan stays bitwise-inert",
-                    e.name,
-                    e.id,
-                    FAULT_STREAM_IDS.start(),
-                    FAULT_STREAM_IDS.end()
-                ),
-            });
+        // Bidirectional reserved-range checks: an id inside a reserved
+        // range must carry the range's prefix, and a prefixed name must
+        // sit inside its range — either drift silently breaks the
+        // inertness guarantee the allocation exists for.
+        let ranges: [(&std::ops::RangeInclusive<u64>, &str, &str); 3] = [
+            (&FAULT_STREAM_IDS, "FAULT_", "an inert fault plan"),
+            (&CTRL_STREAM_IDS, "CTRL_", "an inert degradation config"),
+            (&CHAOS_STREAM_IDS, "CHAOS_", "a chaos-free run"),
+        ];
+        for (range, prefix, guard) in ranges {
+            let in_range = range.contains(&e.id);
+            let named = e.name.starts_with(prefix);
+            if in_range != named {
+                out.push(Finding {
+                    rule: "rng-stream-id",
+                    path: e.path.clone(),
+                    line: e.line,
+                    col: 1,
+                    message: format!(
+                        "stream `{}` = {} violates the documented allocation: ids \
+                         {}-{} are reserved for {prefix}* streams (DESIGN.md §6/§9) \
+                         so {guard} stays bitwise-inert",
+                        e.name,
+                        e.id,
+                        range.start(),
+                        range.end()
+                    ),
+                });
+            }
         }
     }
     out
@@ -481,6 +504,36 @@ mod tests {
         assert_eq!(hits.len(), 2, "{hits:?}");
         assert!(hits[0].message.contains("collides"));
         assert!(hits[1].message.contains("FAULT_"));
+    }
+
+    #[test]
+    fn reserved_ctrl_and_chaos_ranges_are_bidirectional() {
+        // Seeded violations of every drift direction: unprefixed ids inside
+        // the reserved ranges, and prefixed names outside them.
+        let src = "mod stream_kind {\n    pub const SNEAKY: u64 = 14;\n    pub const ALSO: u64 = 16;\n    pub const CTRL_LOST: u64 = 3;\n    pub const CHAOS_LOST: u64 = 4;\n    pub const CTRL_OK: u64 = 15;\n    pub const CHAOS_OK: u64 = 16;\n}\n";
+        let f = file("crates/core/src/model/mod.rs", src);
+        let reg = collect_stream_registry(&f);
+        let hits = rng_registry_collisions(&reg);
+        let drift: Vec<_> = hits
+            .iter()
+            .filter(|h| h.message.contains("violates the documented allocation"))
+            .collect();
+        // SNEAKY (in CTRL range, unprefixed), ALSO (in CHAOS range,
+        // unprefixed), CTRL_LOST and CHAOS_LOST (prefixed, out of range).
+        assert_eq!(drift.len(), 4, "{drift:?}");
+        assert!(drift.iter().any(|h| h.message.contains("CTRL_*")));
+        assert!(drift.iter().any(|h| h.message.contains("CHAOS_*")));
+        // The correctly allocated pair produces no drift findings.
+        assert!(!drift.iter().any(|h| h.message.contains("`CTRL_OK`")));
+        assert!(!drift.iter().any(|h| h.message.contains("`CHAOS_OK`")));
+    }
+
+    #[test]
+    fn degrade_and_chaos_files_are_on_the_panic_path() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(panic_path(&file("crates/core/src/model/degrade.rs", src)).len(), 1);
+        assert_eq!(panic_path(&file("src/chaos.rs", src)).len(), 1);
+        assert_eq!(panic_path(&file("crates/core/src/model/app.rs", src)).len(), 0);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::cputime::{CpuTimeSource, ThreadCpu};
 use crate::kernels::KernelKind;
 use crate::pipes::{sample_pipe, BulkReader, SampleRecord};
 use std::io;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -55,6 +55,58 @@ pub struct DaemonFault {
     pub restart_after: Option<Duration>,
 }
 
+/// Number of priority tiers the testbed accounts shed samples under
+/// (mirrors the simulator's `MAX_TIERS`).
+pub const MAX_TIERS: usize = 4;
+
+/// The testbed mirror of the simulator's graceful-degradation protocol:
+/// the daemon watches its pipe backlog (samples written minus samples
+/// drained) against high/low watermarks; above the high mark it raises a
+/// shared pressure flag and sheds low-priority samples (tier =
+/// `seq % tiers`, tiers `>= keep_tiers` sheddable), and the application
+/// reacts to the flag by multiplicatively slowing its sampling, recovering
+/// additively once pressure has stayed clear for the hysteresis window.
+#[derive(Clone, Copy, Debug)]
+pub struct TestbedDegradation {
+    /// Priority tiers (at most [`MAX_TIERS`]); a sample's tier is
+    /// `seq % tiers`.
+    pub tiers: usize,
+    /// Tiers `0..keep_tiers` are never shed.
+    pub keep_tiers: usize,
+    /// Backlog (outstanding samples) at which the daemon starts shedding
+    /// and raises pressure.
+    pub hi: u64,
+    /// Backlog at which shedding stops and pressure clears.
+    pub lo: u64,
+    /// Multiplicative sampling-period slowdown applied on each rising
+    /// pressure edge the application observes.
+    pub md_factor: f64,
+    /// Upper bound on the accumulated slowdown multiplier.
+    pub max_slowdown: f64,
+    /// Additive multiplier decrement per recovery step.
+    pub recover_step: f64,
+    /// Interval between recovery steps.
+    pub recover_period: Duration,
+    /// Pressure must stay clear this long before recovery begins.
+    pub hysteresis: Duration,
+}
+
+impl Default for TestbedDegradation {
+    fn default() -> Self {
+        TestbedDegradation {
+            tiers: 2,
+            keep_tiers: 1,
+            hi: 64,
+            lo: 16,
+            md_factor: 2.0,
+            max_slowdown: 8.0,
+            recover_step: 0.25,
+            recover_period: Duration::from_millis(50),
+            hysteresis: Duration::from_millis(100),
+        }
+    }
+}
+
 /// Configuration of one measurement run.
 #[derive(Clone, Debug)]
 pub struct TestbedConfig {
@@ -83,6 +135,9 @@ pub struct TestbedConfig {
     /// exceeds the timeout is counted (stall detection); `None` keeps the
     /// direct blocking-read path.
     pub op_timeout: Option<Duration>,
+    /// Watermark-driven overload control; `None` = the pipeline runs
+    /// exactly as before (no atomics consulted on the data path).
+    pub degradation: Option<TestbedDegradation>,
 }
 
 impl Default for TestbedConfig {
@@ -97,6 +152,7 @@ impl Default for TestbedConfig {
             forward_work_units: 25_000,
             daemon_fault: None,
             op_timeout: None,
+            degradation: None,
         }
     }
 }
@@ -143,6 +199,12 @@ pub struct Measurement {
     pub op_timeouts: u64,
     /// Total daemon downtime spent in recovery sleeps (all nodes).
     pub daemon_downtime: Duration,
+    /// Samples shed by daemons under backlog pressure (all nodes).
+    pub samples_shed: u64,
+    /// Shed samples broken down by priority tier.
+    pub shed_by_tier: [u64; MAX_TIERS],
+    /// Rising pressure edges the applications reacted to by throttling.
+    pub throttle_events: u64,
 }
 
 impl Measurement {
@@ -190,6 +252,11 @@ pub fn run(cfg: &TestbedConfig) -> io::Result<Measurement> {
     if let Policy::Bf { batch } = cfg.policy {
         assert!(batch >= 2, "BF batch must be >= 2 (1 is CF)");
         assert!(batch <= 128, "batch > 128 breaks pipe write atomicity");
+    }
+    if let Some(deg) = cfg.degradation {
+        assert!(deg.tiers >= 1 && deg.tiers <= MAX_TIERS, "tiers out of range");
+        assert!(deg.keep_tiers <= deg.tiers, "keep_tiers > tiers");
+        assert!(deg.lo < deg.hi, "low watermark must sit below high");
     }
     let epoch = Instant::now();
     let stop = Arc::new(AtomicBool::new(false));
@@ -284,6 +351,15 @@ pub fn run(cfg: &TestbedConfig) -> io::Result<Measurement> {
         let policy = cfg.policy;
         let fwd_units = cfg.forward_work_units;
         let fault = cfg.daemon_fault;
+        let deg = cfg.degradation;
+        // Shared backlog accounting for the watermark protocol: the app
+        // counts samples written, the daemon counts samples drained, and
+        // their difference is the node's outstanding backlog. The pressure
+        // flag is the daemon's level signal back to the app.
+        let written = Arc::new(AtomicU64::new(0));
+        let pressure = Arc::new(AtomicBool::new(false));
+        let written_pd = written.clone();
+        let pressure_pd = pressure.clone();
 
         pd_handles.push(thread::spawn(move || -> io::Result<DaemonResult> {
             let cpu0 = ThreadCpu::now();
@@ -295,6 +371,10 @@ pub fn run(cfg: &TestbedConfig) -> io::Result<Measurement> {
             let mut lost = 0u64;
             let mut downtime = Duration::ZERO;
             let mut next_kill = fault.map(|f| f.kill_after);
+            let mut drained = 0u64;
+            let mut shedding = false;
+            let mut shed = 0u64;
+            let mut shed_by_tier = [0u64; MAX_TIERS];
             loop {
                 // Supervision: fire the injected kill once its time has
                 // come. The in-memory batch dies with the daemon — under
@@ -328,28 +408,54 @@ pub fn run(cfg: &TestbedConfig) -> io::Result<Measurement> {
                                     crashes,
                                     lost,
                                     downtime,
+                                    shed,
+                                    shed_by_tier,
                                 });
                             }
                         }
                     }
                 }
                 match app_r.read_record()? {
-                    Some(rec) => match policy {
-                        Policy::Cf => {
-                            protocol_work(fwd_units, rec.seq);
-                            out.write_record(&rec)?;
-                            forwards += 1;
-                        }
-                        Policy::Bf { batch } => {
-                            buffer.push(rec);
-                            if buffer.len() >= batch {
-                                protocol_work(fwd_units, buffer[0].seq);
-                                out.write_batch(&buffer)?;
-                                buffer.clear();
-                                forwards += 1;
+                    Some(rec) => {
+                        drained += 1;
+                        if let Some(deg) = deg {
+                            // Watermark protocol, same shape as the
+                            // simulator: hysteresis between hi and lo on
+                            // the outstanding backlog, level-signalled
+                            // pressure, shed only sheddable tiers.
+                            let outstanding =
+                                written_pd.load(Ordering::Relaxed).saturating_sub(drained);
+                            if !shedding && outstanding >= deg.hi {
+                                shedding = true;
+                                pressure_pd.store(true, Ordering::Relaxed);
+                            } else if shedding && outstanding <= deg.lo {
+                                shedding = false;
+                                pressure_pd.store(false, Ordering::Relaxed);
+                            }
+                            let tier = (rec.seq % deg.tiers as u64) as usize;
+                            if shedding && tier >= deg.keep_tiers {
+                                shed += 1;
+                                shed_by_tier[tier] += 1;
+                                continue;
                             }
                         }
-                    },
+                        match policy {
+                            Policy::Cf => {
+                                protocol_work(fwd_units, rec.seq);
+                                out.write_record(&rec)?;
+                                forwards += 1;
+                            }
+                            Policy::Bf { batch } => {
+                                buffer.push(rec);
+                                if buffer.len() >= batch {
+                                    protocol_work(fwd_units, buffer[0].seq);
+                                    out.write_batch(&buffer)?;
+                                    buffer.clear();
+                                    forwards += 1;
+                                }
+                            }
+                        }
+                    }
                     None => {
                         // Application exited: flush the partial batch.
                         if !buffer.is_empty() {
@@ -364,6 +470,8 @@ pub fn run(cfg: &TestbedConfig) -> io::Result<Measurement> {
                             crashes,
                             lost,
                             downtime,
+                            shed,
+                            shed_by_tier,
                         });
                     }
                 }
@@ -381,12 +489,44 @@ pub fn run(cfg: &TestbedConfig) -> io::Result<Measurement> {
             let mut seq = 0u64;
             let mut write_failures = 0u64;
             let mut next_sample = period;
+            // Adaptive sampling-rate controller (multiplicative decrease
+            // on each rising pressure edge, additive recovery after the
+            // hysteresis window) — at mult 1.0 with no degradation config
+            // the loop below is byte-for-byte the original behavior.
+            let mut mult = 1.0f64;
+            let mut was_pressured = false;
+            let mut cleared_at: Option<Instant> = None;
+            let mut last_recover = Instant::now();
+            let mut throttle_events = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 kernel.step();
                 // Instrumentation embedded in the application: emit a
                 // sample when the period has elapsed (possibly several if
-                // a long step spanned periods).
-                while epoch.elapsed() >= next_sample {
+                // a long step spanned periods). Re-check `stop` here too:
+                // under saturating overload the catch-up loop may never
+                // drain, and only this check lets the run terminate.
+                while !stop.load(Ordering::Relaxed) && epoch.elapsed() >= next_sample {
+                    if let Some(deg) = deg {
+                        let p = pressure.load(Ordering::Relaxed);
+                        if p && !was_pressured {
+                            mult = (mult * deg.md_factor).min(deg.max_slowdown);
+                            throttle_events += 1;
+                            cleared_at = None;
+                        } else if !p && was_pressured {
+                            cleared_at = Some(Instant::now());
+                        }
+                        was_pressured = p;
+                        if !p && mult > 1.0 {
+                            if let Some(t) = cleared_at {
+                                if t.elapsed() >= deg.hysteresis
+                                    && last_recover.elapsed() >= deg.recover_period
+                                {
+                                    mult = (mult - deg.recover_step).max(1.0);
+                                    last_recover = Instant::now();
+                                }
+                            }
+                        }
+                    }
                     let rec = SampleRecord {
                         seq,
                         gen_ns: epoch.elapsed().as_nanos() as u64,
@@ -395,7 +535,10 @@ pub fn run(cfg: &TestbedConfig) -> io::Result<Measurement> {
                     // Blocks when the pipe is full — the paper's writer
                     // blocking semantics.
                     match app_w.write_record(&rec) {
-                        Ok(()) => seq += 1,
+                        Ok(()) => {
+                            seq += 1;
+                            written.fetch_add(1, Ordering::Relaxed);
+                        }
                         Err(e) if e.kind() == io::ErrorKind::BrokenPipe => {
                             // The daemon died for good: drop the sample
                             // and keep computing uninstrumented instead of
@@ -404,7 +547,7 @@ pub fn run(cfg: &TestbedConfig) -> io::Result<Measurement> {
                         }
                         Err(e) => return Err(e),
                     }
-                    next_sample += period;
+                    next_sample += period.mul_f64(mult);
                 }
             }
             let cpu = ThreadCpu::now();
@@ -413,6 +556,7 @@ pub fn run(cfg: &TestbedConfig) -> io::Result<Measurement> {
                 generated: seq,
                 write_failures,
                 steps: kernel.counter(),
+                throttle_events,
             })
         }));
     }
@@ -426,6 +570,7 @@ pub fn run(cfg: &TestbedConfig) -> io::Result<Measurement> {
     let mut generated = 0u64;
     let mut write_failures = 0u64;
     let mut steps = 0u64;
+    let mut throttle_events = 0u64;
     for h in app_handles {
         // lint:allow(panic-path): a panicked child has no result to salvage; re-raise
         let r = h.join().expect("app thread panicked")?;
@@ -433,12 +578,15 @@ pub fn run(cfg: &TestbedConfig) -> io::Result<Measurement> {
         generated += r.generated;
         write_failures += r.write_failures;
         steps += r.steps;
+        throttle_events += r.throttle_events;
     }
     let mut pd_cpu = Duration::ZERO;
     let mut forwards = 0u64;
     let mut crashes = 0u64;
     let mut daemon_lost = 0u64;
     let mut downtime = Duration::ZERO;
+    let mut shed = 0u64;
+    let mut shed_by_tier = [0u64; MAX_TIERS];
     for h in pd_handles {
         // lint:allow(panic-path): a panicked child has no result to salvage; re-raise
         let r = h.join().expect("daemon thread panicked")?;
@@ -447,6 +595,10 @@ pub fn run(cfg: &TestbedConfig) -> io::Result<Measurement> {
         crashes += r.crashes;
         daemon_lost += r.lost;
         downtime += r.downtime;
+        shed += r.shed;
+        for (t, n) in shed_by_tier.iter_mut().zip(r.shed_by_tier) {
+            *t += n;
+        }
     }
     // lint:allow(panic-path): a panicked child has no result to salvage; re-raise
     let c = collector.join().expect("collector thread panicked")?;
@@ -468,11 +620,14 @@ pub fn run(cfg: &TestbedConfig) -> io::Result<Measurement> {
         wall,
         cpu_source: c.source,
         daemon_crashes: crashes,
-        samples_lost: generated.saturating_sub(c.received),
+        samples_lost: generated.saturating_sub(c.received + shed),
         daemon_lost,
         app_write_failures: write_failures,
         op_timeouts: c.timeouts,
         daemon_downtime: downtime,
+        samples_shed: shed,
+        shed_by_tier,
+        throttle_events,
     })
 }
 
@@ -491,6 +646,8 @@ struct DaemonResult {
     crashes: u64,
     lost: u64,
     downtime: Duration,
+    shed: u64,
+    shed_by_tier: [u64; MAX_TIERS],
 }
 
 struct AppResult {
@@ -498,6 +655,7 @@ struct AppResult {
     generated: u64,
     write_failures: u64,
     steps: u64,
+    throttle_events: u64,
 }
 
 #[cfg(test)]
@@ -598,6 +756,70 @@ mod tests {
         assert_eq!(m.app_write_failures, 0);
         assert_eq!(m.op_timeouts, 0);
         assert_eq!(m.daemon_downtime, Duration::ZERO);
+        assert_eq!(m.samples_shed, 0);
+        assert_eq!(m.shed_by_tier, [0; MAX_TIERS]);
+        assert_eq!(m.throttle_events, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn overload_engages_watermark_protocol() -> io::Result<()> {
+        // Fast sampling against a daemon paying heavy per-forward protocol
+        // work: the backlog crosses the high watermark, the daemon sheds
+        // the sheddable tiers and pressures the app into throttling, and
+        // the extended conservation identity still balances.
+        let m = run(&TestbedConfig {
+            policy: Policy::Cf,
+            sampling_period: Duration::from_micros(100),
+            duration: Duration::from_millis(800),
+            forward_work_units: 200_000,
+            degradation: Some(TestbedDegradation {
+                tiers: 4,
+                keep_tiers: 2,
+                hi: 32,
+                lo: 8,
+                hysteresis: Duration::from_millis(50),
+                recover_period: Duration::from_millis(25),
+                ..Default::default()
+            }),
+            ..Default::default()
+        })?;
+        assert!(m.samples_shed > 0, "never shed: {m:?}");
+        assert!(m.throttle_events > 0, "app never throttled: {m:?}");
+        for tier in 0..2 {
+            assert_eq!(
+                m.shed_by_tier[tier], 0,
+                "protected tier {tier} shed: {:?}",
+                m.shed_by_tier
+            );
+        }
+        assert_eq!(
+            m.samples_generated,
+            m.samples_received + m.samples_lost + m.samples_shed,
+            "conservation: {m:?}"
+        );
+        assert!(m.samples_received > 0, "goodput collapsed");
+        Ok(())
+    }
+
+    #[test]
+    fn lax_watermarks_stay_inert() -> io::Result<()> {
+        // A configured controller whose watermarks are never crossed must
+        // not shed, throttle, or lose anything.
+        let m = run(&TestbedConfig {
+            policy: Policy::Cf,
+            sampling_period: Duration::from_millis(1),
+            duration: Duration::from_millis(300),
+            degradation: Some(TestbedDegradation {
+                hi: u64::MAX / 2,
+                lo: 1_000_000,
+                ..Default::default()
+            }),
+            ..Default::default()
+        })?;
+        assert_eq!(m.samples_shed, 0);
+        assert_eq!(m.throttle_events, 0);
+        assert_eq!(m.samples_generated, m.samples_received);
         Ok(())
     }
 

@@ -27,7 +27,9 @@ pub mod kernels;
 pub mod pipes;
 
 pub use cputime::{self_check, CpuTimeSource, ThreadCpu};
-pub use harness::{run, DaemonFault, Measurement, Policy, TestbedConfig};
+pub use harness::{
+    run, DaemonFault, Measurement, Policy, TestbedConfig, TestbedDegradation, MAX_TIERS,
+};
 pub use kernels::{BtLike, IsLike, Kernel, KernelKind};
 pub use pipes::{
     sample_pipe, BulkReader, SampleReader, SampleRecord, SampleWriter, TruncatedRecord,

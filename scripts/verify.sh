@@ -30,7 +30,9 @@ rm -f "$lint_json"
 
 echo "== paradyn-lint mutation self-check (seeded violation must go red) =="
 mut_dir="$(mktemp -d)"
-trap 'rm -rf "$mut_dir"' EXIT
+chaos_dir="$(mktemp -d)"
+ratchet_dir="$(mktemp -d)"
+trap 'rm -rf "$mut_dir" "$chaos_dir" "$ratchet_dir"' EXIT
 cp Cargo.toml lint-baseline.txt "$mut_dir"/
 cp -r crates "$mut_dir"/crates
 printf '\npub fn sneaky_now() -> std::time::Instant { std::time::Instant::now() }\n' \
@@ -72,8 +74,58 @@ echo "snapshot mutation self-check: perturbation correctly detected"
 echo "== fault-injection suite =="
 cargo test -q --offline --test fault_injection
 
+echo "== chaos-search suite (randomized fault/overload scenarios + oracles) =="
+chaos_t0="$(date +%s%N)"
+cargo test -q --offline --test chaos
+chaos_t1="$(date +%s%N)"
+chaos_ms="$(( (chaos_t1 - chaos_t0) / 1000000 ))"
+echo "chaos suite took ${chaos_ms} ms"
+if [ "$chaos_ms" -ge 120000 ]; then
+  echo "verify: FAIL — chaos suite exceeded the 120 s budget" >&2
+  exit 1
+fi
+
+echo "== chaos mutation self-check (seeded conservation bug must be found and shrunk) =="
+# Scratch copy of the workspace (the chaos module lives in the root crate's
+# src/, the suite in tests/) with the source-side shed counter deleted:
+# shed samples then vanish from the conservation identity, and the chaos
+# search must find a scenario exposing it and shrink the failure.
+cp Cargo.toml Cargo.lock lint-baseline.txt "$chaos_dir"/ 2>/dev/null || \
+  cp Cargo.toml lint-baseline.txt "$chaos_dir"/
+cp -r crates src tests examples "$chaos_dir"/
+sed -i 's/self\.acc\.shed_by_tier\[tier\] += 1;/\/* seeded bug: shed uncounted *\//' \
+  "$chaos_dir/crates/core/src/model/app.rs"
+grep -q "seeded bug" "$chaos_dir/crates/core/src/model/app.rs" || {
+  echo "verify: FAIL — could not seed the conservation bug" >&2
+  exit 1
+}
+chaos_out="$chaos_dir/chaos-out.txt"
+set +e
+( cd "$chaos_dir" && CARGO_TARGET_DIR="$chaos_dir/target" \
+    cargo test -q --offline --test chaos ) > "$chaos_out" 2>&1
+chaos_rc=$?
+set -e
+if [ "$chaos_rc" -eq 0 ]; then
+  echo "verify: FAIL — chaos suite passed with a seeded conservation bug" >&2
+  exit 1
+fi
+grep -q "conservation violated" "$chaos_out" || {
+  echo "verify: FAIL — seeded bug failed for the wrong reason:" >&2
+  tail -n 40 "$chaos_out" >&2
+  exit 1
+}
+grep -q "shrunk input tape" "$chaos_out" || {
+  echo "verify: FAIL — chaos failure was not shrunk to a minimal tape" >&2
+  tail -n 40 "$chaos_out" >&2
+  exit 1
+}
+echo "chaos mutation self-check: seeded bug found and shrunk"
+
 echo "== fault-sweep smoke (repro faults, quick scale) =="
 cargo run --release --offline -p paradyn-bench --bin repro -- --scale quick faults
+
+echo "== degradation smoke (repro degradation, quick scale) =="
+cargo run --release --offline -p paradyn-bench --bin repro -- --scale quick degradation
 
 echo "== bench smoke (every bench once, short mode) =="
 smoke_json="$(mktemp)"
@@ -87,7 +139,27 @@ echo "== bench JSON schema check (smoke output + committed baseline) =="
 cargo run --release --offline -q -p paradyn-bench --bin check_bench_json -- "$smoke_json"
 rm -f "$smoke_json"
 if [ -f BENCH_des.json ]; then
+  # Non-smoke baseline: check_bench_json also enforces the throughput
+  # ratchet in BENCH_floor.json (fails on regression below any floor,
+  # prints a ratchet hint on sustained improvement).
   cargo run --release --offline -q -p paradyn-bench --bin check_bench_json
 fi
+
+echo "== perf-ratchet self-check (inflated floor must go red) =="
+# Raise one floor above any achievable throughput in a scratch copy; the
+# checker must report a regression, proving the ratchet actually bites.
+cp BENCH_des.json BENCH_floor.json "$ratchet_dir"/
+sed -i 's/"min_events_per_sec": 2300000\.0/"min_events_per_sec": 99000000000000.0/' \
+  "$ratchet_dir/BENCH_floor.json"
+set +e
+cargo run --release --offline -q -p paradyn-bench --bin check_bench_json -- \
+  "$ratchet_dir/BENCH_des.json" > /dev/null 2>&1
+ratchet_rc=$?
+set -e
+if [ "$ratchet_rc" -ne 1 ]; then
+  echo "verify: FAIL — ratchet self-check expected exit 1, got $ratchet_rc" >&2
+  exit 1
+fi
+echo "perf-ratchet self-check: inflated floor correctly rejected"
 
 echo "verify: OK"

@@ -11,6 +11,12 @@
 //! * [`paradyn_core`] — the ROCC model of the Paradyn IS;
 //! * [`paradyn_analytic`] — the operational-law analysis;
 //! * [`paradyn_testbed`] — the real threaded mini-IS.
+//!
+//! The [`chaos`] module lives here rather than in a member crate: it
+//! composes the model, the DES kernel, and the property harness into a
+//! randomized scenario search with shrinking.
+
+pub mod chaos;
 
 pub use paradyn_analytic as analytic;
 pub use paradyn_core as core_model;

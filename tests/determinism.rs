@@ -3,7 +3,8 @@
 //! configuration changes from perturbing unrelated stochastic elements.
 
 use paradyn_core::{
-    build_with_calendar, run, run_replicated_threads, Arch, Forwarding, SimConfig, SimMetrics,
+    build_with_calendar, run, run_replicated_threads, Arch, DegradationConfig, Forwarding,
+    OverloadRamp, SimConfig, SimMetrics,
 };
 use paradyn_des::{rewind_bisect, CalendarKind, SimTime};
 
@@ -206,6 +207,53 @@ fn policy_change_reuses_application_randomness() {
         cf.barrier_ops, bf.barrier_ops,
         "application-side behaviour must be unchanged"
     );
+}
+
+/// Thread-count invariance with the degradation controller actively
+/// throttling and shedding: the controller's RNG streams and event
+/// scheduling must be as replication-safe as the base model's.
+#[test]
+fn throttled_runs_are_thread_count_invariant() {
+    let mut params = paradyn_workload::RoccParams::default();
+    params.pipe_capacity = 8;
+    let cfg = SimConfig {
+        arch: Arch::Now {
+            contention_free: true,
+        },
+        nodes: 4,
+        apps_per_node: 4,
+        sampling_period_us: 4_000.0,
+        duration_s: 2.0,
+        params,
+        degradation: Some(DegradationConfig {
+            pipe_hi: 0.5,
+            pipe_lo: 0.25,
+            daemon_hi: 6,
+            daemon_lo: 2,
+            tiers: 4,
+            keep_tiers: 2,
+            ..Default::default()
+        }),
+        overload: Some(OverloadRamp {
+            at_s: 0.5,
+            factor: 4.0,
+        }),
+        ..Default::default()
+    };
+    let probe = run(&cfg);
+    assert!(
+        probe.throttle_events > 0 && probe.shed_samples > 0,
+        "controller never engaged: {probe:?}"
+    );
+    let serial = run_replicated_threads(&cfg, 6, 0.90, 1);
+    for threads in [2usize, 8] {
+        let parallel = run_replicated_threads(&cfg, 6, 0.90, threads);
+        for (r, (a, b)) in serial.runs.iter().zip(&parallel.runs).enumerate() {
+            assert_metrics_bit_identical(a, b, &format!("degraded rep {r} threads {threads}"));
+            assert_eq!(a.shed_samples, b.shed_samples, "rep {r}: shed");
+            assert_eq!(a.throttle_events, b.throttle_events, "rep {r}: throttle");
+        }
+    }
 }
 
 #[test]

@@ -41,6 +41,21 @@ fn workspace_has_zero_non_baselined_findings() {
         .map(|e| e.id)
         .collect();
     assert_eq!(fault_ids, vec![11, 12, 13], "fault stream registry drifted");
+    // Same for the controller and chaos allocations (DESIGN.md §9).
+    let ctrl_ids: Vec<u64> = report
+        .stream_registry
+        .iter()
+        .filter(|e| e.name.starts_with("CTRL_"))
+        .map(|e| e.id)
+        .collect();
+    assert_eq!(ctrl_ids, vec![14, 15], "controller stream registry drifted");
+    let chaos_ids: Vec<u64> = report
+        .stream_registry
+        .iter()
+        .filter(|e| e.name.starts_with("CHAOS_"))
+        .map(|e| e.id)
+        .collect();
+    assert_eq!(chaos_ids, vec![16], "chaos stream registry drifted");
 }
 
 #[test]
@@ -110,6 +125,23 @@ fn seeded_violations_are_caught() {
             "rng-stream-id",
             "crates/des/src/engine.rs",
             "pub fn r(s: &paradyn_des::rng::Streams) -> u64 { s.stream(42).next_u64() }",
+        ),
+        (
+            // A raw literal colliding with the controller allocation.
+            "rng-stream-id",
+            "crates/des/src/engine.rs",
+            "pub fn r(s: &paradyn_des::rng::Streams) -> u64 { s.stream3(14, 0, 0).next_u64() }",
+        ),
+        (
+            // New controller/chaos code paths are on the panic-path rule.
+            "panic-path",
+            "crates/core/src/model/degrade.rs",
+            "pub fn f(v: &[u8]) -> u8 { *v.first().unwrap() }",
+        ),
+        (
+            "panic-path",
+            "src/chaos.rs",
+            "pub fn f(v: &[u8]) -> u8 { *v.first().expect(\"non-empty\") }",
         ),
         (
             "hermeticity",

@@ -167,6 +167,86 @@ fn pipe_conserves_samples_under_every_policy() {
     });
 }
 
+/// Capacity-1 pipes under the lossy policies: the degenerate single-slot
+/// edge where every overflowing deposit competes with the only queued
+/// sample. DropNewest discards the newcomer, DropOldest replaces the sole
+/// occupant — either way occupancy stays pinned at one, nothing blocks,
+/// and loss grows by exactly one per overflowing deposit.
+#[test]
+fn capacity_one_lossy_pipes_pin_occupancy() {
+    check("capacity_one_lossy_pipes_pin_occupancy", |g| {
+        let policy = *g.choice(&[OverflowPolicy::DropNewest, OverflowPolicy::DropOldest]);
+        let ops = g.vec_bool(1, 200);
+        let mut p = Pipe::with_policy(1, policy);
+        let mut lost = 0u64;
+        for (i, op) in ops.into_iter().enumerate() {
+            let t = SimTime::from_nanos(i as u64 + 1);
+            if op {
+                let was_full = p.is_full();
+                let r = p.deposit(t);
+                if was_full {
+                    lost += 1;
+                    let want = match policy {
+                        OverflowPolicy::DropNewest => Deposit::DroppedNewest,
+                        _ => Deposit::DroppedOldest,
+                    };
+                    prop_assert_eq!(r, want);
+                    prop_assert_eq!(p.occupied(), 1);
+                } else {
+                    prop_assert_eq!(r, Deposit::Accepted);
+                }
+            } else if p.occupied() > 0 {
+                prop_assert_eq!(p.drain(), None);
+            }
+            prop_assert!(!p.writer_blocked(), "lossy capacity-1 pipe blocked");
+            prop_assert!(p.occupied() <= 1);
+            prop_assert_eq!(p.lost(), lost);
+            prop_assert_eq!(p.blocked_deposits(), 0);
+            prop_assert_eq!(p.rejected_deposits(), 0);
+        }
+        Ok(())
+    });
+}
+
+/// Block policy with the writer resumed within the same timestamp batch:
+/// a drain at the very timestamp the writer parked at admits the parked
+/// sample immediately, and the resumed writer's next deposit at that same
+/// time parks again (never `AlreadyBlocked`) — the exact sequence the
+/// event loop performs when a drain and a sampling tick share a timestamp.
+#[test]
+fn blocked_writer_resumes_within_same_timestamp_batch() {
+    check("blocked_writer_resumes_within_same_timestamp_batch", |g| {
+        let capacity = g.usize_in(1, 9);
+        let t = SimTime::from_nanos(g.u64_in(1, 1_000_000));
+        let mut p = Pipe::new(capacity);
+        for _ in 0..capacity {
+            prop_assert_eq!(p.deposit(t), Deposit::Accepted);
+        }
+        prop_assert_eq!(p.deposit(t), Deposit::WouldBlock);
+        prop_assert!(p.writer_blocked());
+        // Drain at the SAME timestamp: the parked sample takes the slot
+        // and carries its original generation time.
+        prop_assert_eq!(p.drain(), Some(t));
+        prop_assert!(!p.writer_blocked());
+        prop_assert_eq!(p.occupied(), capacity);
+        // The resumed writer deposits again in the same batch: the pipe is
+        // full again, so it parks again rather than being rejected.
+        prop_assert_eq!(p.deposit(t), Deposit::WouldBlock);
+        prop_assert_eq!(p.blocked_deposits(), 2);
+        prop_assert_eq!(p.drain(), Some(t));
+        // Drain dry: no further parked admissions, occupancy steps down.
+        let mut drains = 0usize;
+        while p.occupied() > 0 {
+            prop_assert_eq!(p.drain(), None);
+            drains += 1;
+        }
+        prop_assert_eq!(drains, capacity);
+        prop_assert_eq!(p.lost(), 0);
+        prop_assert_eq!(p.rejected_deposits(), 0);
+        Ok(())
+    });
+}
+
 /// Rv quantile inverts the cdf for every family and parameter choice.
 #[test]
 fn quantile_inverts_cdf() {

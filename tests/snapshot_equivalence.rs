@@ -16,8 +16,9 @@
 //! <property name>`.
 
 use paradyn_core::{
-    build_with_calendar, fork_n, run_forked, run_perturbed_from_zero, warm_snapshot, Arch,
-    DaemonCrashFaults, FaultPlan, LinkFaults, OverflowPolicy, RoccModel, SimConfig,
+    build_with_calendar, fork_n, run, run_forked, run_perturbed_from_zero, warm_snapshot, Arch,
+    DaemonCrashFaults, DegradationConfig, FaultPlan, LinkFaults, OverflowPolicy, OverloadRamp,
+    RoccModel, SimConfig,
 };
 use paradyn_des::{
     rewind_bisect, CalendarKind, Ctx, Dec, Enc, Model, Persist, PersistState, Sim, SimDur,
@@ -176,6 +177,31 @@ fn small_cfg(g: &mut Gen) -> SimConfig {
     } else {
         FaultPlan::default()
     };
+    // Half the runs carry an aggressive degradation controller and an
+    // early overload ramp, so snapshots land mid-throttle/mid-shed too.
+    let degradation = if g.bool() {
+        Some(DegradationConfig {
+            tiers: 2,
+            keep_tiers: 1,
+            pipe_hi: 0.4,
+            pipe_lo: 0.2,
+            daemon_hi: 3,
+            daemon_lo: 1,
+            recover_period_us: 3_000.0,
+            hysteresis_us: 5_000.0,
+            ..Default::default()
+        })
+    } else {
+        None
+    };
+    let overload = if g.bool() {
+        Some(OverloadRamp {
+            at_s: 0.01,
+            factor: 8.0,
+        })
+    } else {
+        None
+    };
     SimConfig {
         arch,
         nodes: g.usize_in(1, 2),
@@ -183,6 +209,8 @@ fn small_cfg(g: &mut Gen) -> SimConfig {
         duration_s: g.f64_in(0.02, 0.05),
         seed: g.u64_in(1, 1 << 48),
         faults,
+        degradation,
+        overload,
         ..Default::default()
     }
 }
@@ -290,6 +318,65 @@ fn faulty_run_equivalence_on_both_backends() {
         payloads.push((full_metrics, full_payload));
     }
     // And the two backends agree with each other end-to-end.
+    assert_eq!(payloads[0], payloads[1]);
+}
+
+/// Deterministic pin: a snapshot taken mid-shed — while the degradation
+/// controller is actively throttling apps and shedding low-priority
+/// samples under an overload ramp — is bitwise invisible on both backends
+/// and across them.
+#[test]
+fn degraded_run_equivalence_on_both_backends() {
+    let mut params = paradyn_workload::RoccParams::default();
+    params.pipe_capacity = 8;
+    let cfg = SimConfig {
+        arch: Arch::Now {
+            contention_free: true,
+        },
+        nodes: 2,
+        apps_per_node: 4,
+        sampling_period_us: 500.0,
+        duration_s: 0.3,
+        seed: 0xDE6,
+        params,
+        degradation: Some(DegradationConfig {
+            tiers: 4,
+            keep_tiers: 2,
+            pipe_hi: 0.5,
+            pipe_lo: 0.25,
+            daemon_hi: 4,
+            daemon_lo: 1,
+            recover_period_us: 5_000.0,
+            hysteresis_us: 10_000.0,
+            ..Default::default()
+        }),
+        overload: Some(OverloadRamp {
+            at_s: 0.05,
+            factor: 8.0,
+        }),
+        ..Default::default()
+    };
+    // The controller must actually be mid-flight for this pin to bite.
+    let m = run(&cfg);
+    assert!(m.shed_samples > 0, "config never sheds: {m:?}");
+    assert!(m.throttle_events > 0, "config never throttles");
+
+    let split = SimTime::from_secs_f64(0.15);
+    let mut payloads = vec![];
+    for kind in KINDS {
+        let mut full = build_with_calendar(&cfg, kind);
+        let (full_metrics, full_payload) = final_state(&cfg, &mut full);
+        let mut pre = build_with_calendar(&cfg, kind);
+        let bytes = pre.snapshot(split).expect("snapshot");
+        for rkind in KINDS {
+            let mut resumed =
+                Sim::restore(RoccModel::new(cfg.clone()), rkind, &bytes).expect("restore");
+            let (metrics, payload) = final_state(&cfg, &mut resumed);
+            assert_eq!(metrics, full_metrics, "{kind:?} -> {rkind:?}");
+            assert_eq!(payload, full_payload, "{kind:?} -> {rkind:?}");
+        }
+        payloads.push((full_metrics, full_payload));
+    }
     assert_eq!(payloads[0], payloads[1]);
 }
 
