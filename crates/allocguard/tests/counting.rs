@@ -1,0 +1,42 @@
+//! The counters must actually observe heap traffic routed through the
+//! installed global allocator — otherwise the zero-alloc steady-state test
+//! could pass vacuously against a miswired allocator.
+
+use paradyn_allocguard::{checkpoint, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn counters_observe_alloc_realloc_dealloc() {
+    let mark = checkpoint();
+
+    let mut v: Vec<u64> = Vec::with_capacity(8);
+    assert!(mark.allocations_since() >= 1, "Vec::with_capacity must allocate");
+    assert!(mark.bytes_since() >= 64);
+
+    // Growing past capacity reaches the allocator again (realloc or a
+    // fresh alloc+copy, depending on the allocator's strategy).
+    let traffic_before_grow = mark.heap_traffic_since();
+    v.extend(std::iter::repeat(7).take(64));
+    assert!(
+        mark.heap_traffic_since() > traffic_before_grow,
+        "growth past capacity must produce heap traffic"
+    );
+
+    let deallocs_before_drop = mark.deallocations_since();
+    drop(v);
+    assert!(mark.deallocations_since() > deallocs_before_drop);
+}
+
+#[test]
+fn in_place_mutation_is_free() {
+    let mut v: Vec<u64> = Vec::with_capacity(1024);
+    let mark = checkpoint();
+    for i in 0..1024 {
+        v.push(i); // within capacity: no heap traffic
+    }
+    v.clear();
+    assert_eq!(mark.heap_traffic_since(), 0);
+    assert_eq!(mark.deallocations_since(), 0);
+}

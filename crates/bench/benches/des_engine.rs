@@ -1,7 +1,9 @@
 //! Kernel benchmarks: raw event-calendar throughput (DESIGN.md ablations
 //! 1–2: integer time + typed events), run against **both** calendar
-//! backends — the O(1) timing wheel and the legacy binary heap — plus a
-//! full-model 50-node NOW contention-free sweep.
+//! backends — the O(1) timing wheel and the legacy binary heap — plus the
+//! `model_path` group: the full ROCC model (NOW contention-free sweep) at
+//! three sizes, so end-to-end throughput is a first-class ratchet artifact
+//! and not just the calendar microbenches.
 //!
 //! Besides the human-readable table, the run emits a machine-readable
 //! `BENCH_des.json` (path overridable via `PARADYN_BENCH_JSON`) with
@@ -104,6 +106,12 @@ fn main() {
     let model_dur_s = if smoke { 0.02 } else { 1.0 };
 
     let mut g = Group::new("des_engine");
+    if !smoke {
+        // Ratchet contract: pinned counts + a fixed minimum warmup so the
+        // committed medians are comparable across commits (smoke runs are
+        // ratchet-exempt and keep the fast env-driven counts).
+        g.pin(25, 3).warmup_time_ms(200);
+    }
     let mut results: Vec<Json> = vec![];
     let mut case_names: Vec<String> = vec![];
 
@@ -165,37 +173,48 @@ fn main() {
                 case_names.push(case);
             }
         }
+    }
 
-        // Full ROCC model: the paper's 50-node NOW contention-free sweep.
-        // Model logic (RNG draws, resource state machines) shares the bill
-        // with the calendar here, so the speedup is smaller than on the
-        // kernel microbenches; both numbers land in the JSON.
-        let case = "now_cf_50n".to_string();
-        let cfg = SimConfig {
-            arch: Arch::Now { contention_free: true },
-            nodes: 50,
-            duration_s: model_dur_s,
-            ..Default::default()
-        };
-        let horizon = SimTime::from_secs_f64(cfg.duration_s);
-        let (model_events, occ) = {
-            let mut sim = build_with_calendar(&cfg, kind);
-            let occ = sim.ctx().calendar_stats();
-            sim.run_until(horizon);
-            (sim.executed_events(), occ)
-        };
-        g.throughput(model_events);
-        let stats = g.bench_with_setup(
-            &format!("{case}/{k_name}"),
-            || build_with_calendar(&cfg, kind),
-            |mut sim| {
+    // `model_path` group: the full ROCC model (the paper's NOW
+    // contention-free sweep) at three sizes. Model logic (RNG draws,
+    // resource state machines) shares the bill with the calendar here, so
+    // the wheel-over-heap speedup is smaller than on the kernel
+    // microbenches; both numbers land in the JSON and the 50-node case
+    // carries its own ratchet floor.
+    let mut g = Group::new("model_path");
+    if !smoke {
+        g.pin(25, 3).warmup_time_ms(200);
+    }
+    for kind in [CalendarKind::Heap, CalendarKind::Wheel] {
+        let k_name = kind_name(kind);
+        for nodes in [16usize, 50, 120] {
+            let case = format!("now_cf_{nodes}n");
+            let cfg = SimConfig {
+                arch: Arch::Now { contention_free: true },
+                nodes,
+                duration_s: model_dur_s,
+                ..Default::default()
+            };
+            let horizon = SimTime::from_secs_f64(cfg.duration_s);
+            let (model_events, occ) = {
+                let mut sim = build_with_calendar(&cfg, kind);
+                let occ = sim.ctx().calendar_stats();
                 sim.run_until(horizon);
-                sim.executed_events()
-            },
-        );
-        record(&mut results, &case, kind, model_events, stats, occ);
-        if kind == CalendarKind::Heap {
-            case_names.push(case);
+                (sim.executed_events(), occ)
+            };
+            g.throughput(model_events);
+            let stats = g.bench_with_setup(
+                &format!("{case}/{k_name}"),
+                || build_with_calendar(&cfg, kind),
+                |mut sim| {
+                    sim.run_until(horizon);
+                    sim.executed_events()
+                },
+            );
+            record(&mut results, &case, kind, model_events, stats, occ);
+            if kind == CalendarKind::Heap {
+                case_names.push(case);
+            }
         }
     }
 

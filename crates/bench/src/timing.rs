@@ -7,11 +7,31 @@
 //! uncontended cost). With a declared throughput, the median is also
 //! converted to elements/second.
 //!
-//! Environment knobs:
+//! ## Variance control for ratchet benches
+//!
+//! Benchmarks that feed the committed `BENCH_des.json` / `BENCH_floor.json`
+//! throughput ratchet must produce comparable medians run over run, so two
+//! extra controls exist beyond the env knobs:
+//!
+//! * [`Group::pin`] **pins** the iteration and warmup counts in the bench
+//!   source, ignoring `PARADYN_BENCH_ITERS`/`PARADYN_BENCH_WARMUP`: a
+//!   ratchet comparison is only meaningful when both sides drew the same
+//!   number of samples.
+//! * [`Group::warmup_time_ms`] adds a **fixed minimum warmup time**: the
+//!   warmup loop keeps re-running the routine until both the warmup
+//!   iteration count *and* the wall-clock minimum are met. The first
+//!   iterations of a cold process are polluted by page faults, lazy
+//!   allocator growth, and CPU frequency ramp — a count-only warmup lets
+//!   that pollution leak into the timed samples of short benchmarks
+//!   (observed as `timers_1024` p95 at 3× its median).
+//!
+//! Environment knobs (ignored by pinned groups):
 //! * `PARADYN_BENCH_ITERS` — timed iterations per benchmark (default 20);
 //! * `PARADYN_BENCH_WARMUP` — warmup iterations (default 3).
 
 use std::time::Instant;
+
+use paradyn_stats::Moments;
 
 /// Re-export so bench files have a hermetic `black_box`.
 pub use std::hint::black_box;
@@ -33,10 +53,28 @@ pub struct Stats {
     pub p95_ns: u64,
     /// Minimum wall time (ns).
     pub min_ns: u64,
+    /// Mean wall time (ns) — sensitive to outliers; report with `std_ns`.
+    pub mean_ns: f64,
+    /// Sample standard deviation of the iteration times (ns). The ratio
+    /// `std_ns / mean_ns` (coefficient of variation) is the run's noise
+    /// gauge: ratchet-quality runs should sit well under 0.15.
+    pub std_ns: f64,
 }
 
-/// Summarize per-iteration samples (ns). Uses the nearest-rank method, so
-/// the reported quantiles are actual observed samples.
+impl Stats {
+    /// Coefficient of variation of the iteration times (std/mean).
+    pub fn cv(&self) -> f64 {
+        if self.mean_ns == 0.0 {
+            0.0
+        } else {
+            self.std_ns / self.mean_ns
+        }
+    }
+}
+
+/// Summarize per-iteration samples (ns). Quantiles use the nearest-rank
+/// method, so they are actual observed samples; mean/std come from a
+/// single-pass [`Moments`] fold.
 pub fn summarize(samples_ns: &[u64]) -> Stats {
     assert!(!samples_ns.is_empty());
     let mut xs = samples_ns.to_vec();
@@ -45,10 +83,16 @@ pub fn summarize(samples_ns: &[u64]) -> Stats {
         let idx = ((p * xs.len() as f64).ceil() as usize).clamp(1, xs.len()) - 1;
         xs[idx]
     };
+    let mut m = Moments::new();
+    for &x in &xs {
+        m.push(x as f64);
+    }
     Stats {
         median_ns: rank(0.50),
         p95_ns: rank(0.95),
         min_ns: xs[0],
+        mean_ns: m.mean(),
+        std_ns: m.std_dev(),
     }
 }
 
@@ -70,19 +114,45 @@ pub struct Group {
     name: String,
     iters: usize,
     warmup: usize,
+    warmup_min_ns: u64,
     throughput_elems: Option<u64>,
 }
 
 impl Group {
-    /// Start a group; prints a header.
+    /// Start a group; prints a header. Iteration counts come from the
+    /// environment knobs (see module docs); ratchet benches should [`pin`]
+    /// them instead.
+    ///
+    /// [`pin`]: Group::pin
     pub fn new(name: &str) -> Group {
         println!("== bench group: {name} ==");
         Group {
             name: name.to_string(),
             iters: env_usize("PARADYN_BENCH_ITERS", 20),
             warmup: env_usize("PARADYN_BENCH_WARMUP", 3),
+            warmup_min_ns: 0,
             throughput_elems: None,
         }
+    }
+
+    /// Pin the timed-iteration and warmup counts in source, overriding any
+    /// `PARADYN_BENCH_ITERS`/`PARADYN_BENCH_WARMUP` in the environment.
+    /// Every benchmark feeding the `BENCH_floor.json` ratchet must be
+    /// pinned: floors compare medians across commits, which is only sound
+    /// when the sample count is part of the benchmark's definition.
+    pub fn pin(&mut self, iters: usize, warmup: usize) -> &mut Self {
+        self.iters = iters.max(1);
+        self.warmup = warmup;
+        self
+    }
+
+    /// Require at least `ms` milliseconds of warmup wall time per
+    /// benchmark, on top of the warmup iteration count. Use for ratchet
+    /// benches whose single iteration is short relative to cold-start
+    /// effects (page faults, allocator growth, CPU frequency ramp).
+    pub fn warmup_time_ms(&mut self, ms: u64) -> &mut Self {
+        self.warmup_min_ns = ms.saturating_mul(1_000_000);
+        self
     }
 
     /// Override the timed iteration count for subsequent benchmarks.
@@ -113,8 +183,15 @@ impl Group {
         mut setup: impl FnMut() -> S,
         mut routine: impl FnMut(S) -> T,
     ) -> Stats {
-        for _ in 0..self.warmup {
+        // Fixed warmup pass: at least `warmup` iterations AND at least
+        // `warmup_min_ns` of wall time before the first timed sample.
+        let warm_start = Instant::now();
+        let mut warmed = 0usize;
+        while warmed < self.warmup
+            || (warm_start.elapsed().as_nanos() as u64) < self.warmup_min_ns
+        {
             black_box(routine(setup()));
+            warmed += 1;
         }
         let mut samples = Vec::with_capacity(self.iters);
         for _ in 0..self.iters {
@@ -135,11 +212,12 @@ impl Group {
             })
             .unwrap_or_default();
         println!(
-            "{:<32} median {:>12}  p95 {:>12}  min {:>12}{rate}",
+            "{:<32} median {:>12}  p95 {:>12}  min {:>12}  cv {:>5.1}%{rate}",
             format!("{}/{}", self.name, name),
             fmt_ns(stats.median_ns),
             fmt_ns(stats.p95_ns),
             fmt_ns(stats.min_ns),
+            stats.cv() * 100.0,
         );
         stats
     }
@@ -160,6 +238,15 @@ mod tests {
     }
 
     #[test]
+    fn summarize_moments_match_sample() {
+        let s = summarize(&[10, 20, 30, 40]);
+        assert!((s.mean_ns - 25.0).abs() < 1e-12);
+        // Unbiased sample std of {10,20,30,40} = sqrt(500/3).
+        assert!((s.std_ns - (500.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert!((s.cv() - s.std_ns / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn bench_runs_warmup_plus_iters_times() {
         let mut g = Group::new("meta");
         g.sample_size(5);
@@ -171,17 +258,31 @@ mod tests {
     }
 
     #[test]
-    fn setup_is_not_timed_state_is_fresh() {
+    fn pinned_counts_override_env() {
+        // `pin` must ignore the env knobs entirely (the ratchet contract);
+        // with warmup pinned to 0 and no minimum warmup time, the call
+        // count is exactly the pinned iteration count.
         let mut g = Group::new("meta");
-        g.sample_size(3);
-        g.bench_with_setup(
-            "fresh_vec",
-            || vec![1u64; 16],
-            |v| {
-                // Routine consumes its own fresh input every iteration.
-                assert_eq!(v.len(), 16);
-                v.into_iter().sum::<u64>()
-            },
-        );
+        g.pin(4, 0);
+        let mut calls = 0u32;
+        g.bench_function("pinned", || calls += 1);
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn warmup_time_floor_is_enforced() {
+        let mut g = Group::new("meta");
+        g.pin(1, 1).warmup_time_ms(30);
+        let mut calls = 0u32;
+        let start = Instant::now();
+        g.bench_function("warm", || {
+            calls += 1;
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        // At least ~30ms of warmup happened before the single timed
+        // iteration; with a 2ms routine that means well over the 1-count
+        // warmup minimum actually ran.
+        assert!(start.elapsed().as_millis() >= 30);
+        assert!(calls > 2, "expected time-based warmup to add calls, got {calls}");
     }
 }

@@ -165,8 +165,9 @@ impl SimMetrics {
         let end = SimTime::ZERO + horizon;
         let open_block_us: f64 = m
             .apps
+            .cold
             .iter()
-            .filter_map(|a| a.blocked_since)
+            .filter_map(|c| c.blocked_since)
             .map(|since| (end - since).as_micros_f64())
             .sum();
         let lost_overflow = m.total_overflow_lost();

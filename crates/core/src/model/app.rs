@@ -13,23 +13,25 @@ impl RoccModel {
     /// in which case the process pauses and resumes when the daemon drains
     /// the pipe.
     pub(crate) fn app_start_step(&mut self, ctx: &mut Ctx<Ev>, app: AppId, step: Step) {
-        let a = &mut self.apps[app as usize];
-        if a.pipe.writer_blocked() {
-            a.paused = Some(step);
+        if self.apps.pipe[app as usize].writer_blocked() {
+            self.apps.cold[app as usize].paused = Some(step);
             return;
         }
         match step {
             Step::Compute => {
+                let h = &mut self.apps.hot[app as usize];
                 let demand = match &self.cfg.replay {
                     Some(r) => {
-                        let d = r.cpu_at(a.replay_cpu_pos);
-                        a.replay_cpu_pos += 1;
+                        let c = &mut self.apps.cold[app as usize];
+                        let d = r.cpu_at(c.replay_cpu_pos);
+                        c.replay_cpu_pos += 1;
                         d
                     }
-                    None => self.cfg.app.cpu_req.sample(&mut a.cpu_rng),
+                    None => self.cfg.app.cpu_req.sample(&mut h.cpu_rng),
                 };
-                a.current_burst_us = demand;
-                let node = a.node;
+                let h = &mut self.apps.hot[app as usize];
+                h.current_burst_us = demand;
+                let node = h.node;
                 self.submit_cpu(
                     ctx,
                     self.bank_of(node),
@@ -43,11 +45,15 @@ impl RoccModel {
             Step::Comm => {
                 let demand = match &self.cfg.replay {
                     Some(r) => {
-                        let d = r.net_at(a.replay_net_pos);
-                        a.replay_net_pos += 1;
+                        let c = &mut self.apps.cold[app as usize];
+                        let d = r.net_at(c.replay_net_pos);
+                        c.replay_net_pos += 1;
                         d
                     }
-                    None => self.cfg.app.net_req.sample(&mut a.net_rng),
+                    None => {
+                        let h = &mut self.apps.hot[app as usize];
+                        self.cfg.app.net_req.sample(&mut h.net_rng)
+                    }
                 };
                 self.submit_net(ctx, NetJob::AppComm { app }, demand);
             }
@@ -57,11 +63,11 @@ impl RoccModel {
     /// A computation burst finished: account barrier progress, then either
     /// join the barrier or start communicating.
     pub(crate) fn app_compute_done(&mut self, ctx: &mut Ctx<Ev>, app: AppId) {
-        let a = &mut self.apps[app as usize];
-        a.work_since_barrier_us += a.current_burst_us;
-        a.current_burst_us = 0.0;
+        let h = &mut self.apps.hot[app as usize];
+        h.work_since_barrier_us += h.current_burst_us;
+        h.current_burst_us = 0.0;
         match self.cfg.app.barrier_period_us {
-            Some(period) if a.work_since_barrier_us >= period => {
+            Some(period) if h.work_since_barrier_us >= period => {
                 self.join_barrier(ctx, app)
             }
             _ => self.app_start_step(ctx, app, Step::Comm),
@@ -79,9 +85,9 @@ impl RoccModel {
     /// is released into their communication step.
     fn join_barrier(&mut self, ctx: &mut Ctx<Ev>, app: AppId) {
         {
-            let a = &mut self.apps[app as usize];
-            debug_assert!(!a.at_barrier, "double barrier join");
-            a.at_barrier = true;
+            let h = &mut self.apps.hot[app as usize];
+            debug_assert!(!h.at_barrier, "double barrier join");
+            h.at_barrier = true;
         }
         self.barrier_waiting.push(app);
         if self.cfg.sample_on_barrier && self.cfg.instrumented {
@@ -91,13 +97,18 @@ impl RoccModel {
         }
         if self.barrier_waiting.len() == self.apps.len() {
             self.acc.barrier_ops += 1;
-            let released = std::mem::take(&mut self.barrier_waiting);
-            for w in released {
-                let a = &mut self.apps[w as usize];
-                a.at_barrier = false;
-                a.work_since_barrier_us = 0.0;
+            // Swap the roster into recycled scratch storage so the release
+            // cycle (and the refilling roster) reuse their capacity.
+            let mut released = std::mem::take(&mut self.barrier_scratch);
+            std::mem::swap(&mut released, &mut self.barrier_waiting);
+            for &w in &released {
+                let h = &mut self.apps.hot[w as usize];
+                h.at_barrier = false;
+                h.work_since_barrier_us = 0.0;
                 self.app_start_step(ctx, w, Step::Comm);
             }
+            released.clear();
+            self.barrier_scratch = released;
         }
     }
 
@@ -105,8 +116,8 @@ impl RoccModel {
     /// writer blocks — the timer stops until the daemon drains the pipe.
     pub(crate) fn sample_timer_fired(&mut self, ctx: &mut Ctx<Ev>, app: AppId) {
         self.deposit_sample(ctx, app);
-        if self.apps[app as usize].pipe.writer_blocked() {
-            self.apps[app as usize].sampling_active = false;
+        if self.apps.pipe[app as usize].writer_blocked() {
+            self.apps.cold[app as usize].sampling_active = false;
         } else {
             self.schedule_next_sample(ctx, app);
         }
@@ -119,13 +130,13 @@ impl RoccModel {
     pub(crate) fn deposit_sample(&mut self, ctx: &mut Ctx<Ev>, app: AppId) {
         let now = ctx.now();
         self.acc.emitted_samples += 1;
-        if self.apps[app as usize].pipe.writer_blocked() {
+        if self.apps.pipe[app as usize].writer_blocked() {
             // Already blocked on an earlier sample; drop this event record
             // (the writer is stuck inside the earlier write).
             self.acc.lost_blocked += 1;
             return;
         }
-        let pd = self.apps[app as usize].pd;
+        let pd = self.apps.hot[app as usize].pd;
         // Source-side shedding: while the owning daemon is under pressure,
         // sheddable-tier samples are discarded before they enter the pipe.
         if let Some(deg) = self.cfg.degradation {
@@ -135,11 +146,10 @@ impl RoccModel {
                 return;
             }
         }
-        let a = &mut self.apps[app as usize];
-        match a.pipe.deposit(now) {
+        match self.apps.pipe[app as usize].deposit(now) {
             Deposit::Accepted => {
                 self.acc.generated_samples += 1;
-                self.daemons[pd as usize].fifo.push_back((now, app));
+                self.daemons.fifo[pd as usize].push_back((now, app));
                 if self.cfg.degradation.is_some() {
                     // Occupancy and FIFO length both rose; check watermarks
                     // before the daemon starts a collection cycle.
@@ -151,7 +161,7 @@ impl RoccModel {
             Deposit::WouldBlock => {
                 // Writer blocks; the daemon's next drain will admit the
                 // parked sample and resume the process.
-                a.blocked_since = Some(now);
+                self.apps.cold[app as usize].blocked_since = Some(now);
             }
             Deposit::AlreadyBlocked => {
                 // Unreachable — guarded above — but keep the books straight
@@ -168,7 +178,7 @@ impl RoccModel {
                 // already inside a collecting batch (uncancellable), the
                 // newcomer is dropped instead — the pipe counted one loss
                 // and occupancy is unchanged either way.
-                let fifo = &mut self.daemons[pd as usize].fifo;
+                let fifo = &mut self.daemons.fifo[pd as usize];
                 if let Some(idx) = fifo.iter().position(|&(_, who)| who == app) {
                     fifo.remove(idx);
                     fifo.push_back((now, app));

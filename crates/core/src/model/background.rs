@@ -27,7 +27,7 @@ impl RoccModel {
             demand,
         );
         let gap = self.draw_interarrival(node, BgKind::Pvmd);
-        ctx.schedule_in(gap, Ev::PvmdArrival { node });
+        ctx.post_in(gap, Ev::PvmdArrival { node });
     }
 
     /// An other-process CPU request arrives.
@@ -48,7 +48,7 @@ impl RoccModel {
             demand,
         );
         let gap = self.draw_interarrival(node, BgKind::OtherCpu);
-        ctx.schedule_in(gap, Ev::OtherCpuArrival { node });
+        ctx.post_in(gap, Ev::OtherCpuArrival { node });
     }
 
     /// An other-process network request arrives (independent of its CPU
@@ -62,6 +62,6 @@ impl RoccModel {
             .sample(&mut self.other_rngs[node as usize]);
         self.submit_net(ctx, NetJob::OtherNet, demand);
         let gap = self.draw_interarrival(node, BgKind::OtherNet);
-        ctx.schedule_in(gap, Ev::OtherNetArrival { node });
+        ctx.post_in(gap, Ev::OtherNetArrival { node });
     }
 }

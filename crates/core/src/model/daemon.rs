@@ -22,12 +22,13 @@ impl RoccModel {
     /// partial batch is collected (the flush-timeout path). Returns whether
     /// a cycle started.
     fn try_collect(&mut self, ctx: &mut Ctx<Ev>, pd: PdId, force: bool) -> bool {
-        let d = &mut self.daemons[pd as usize];
+        let d = &mut self.daemons.hot[pd as usize];
         if d.collecting || d.down {
             return false;
         }
         let threshold = d.batch;
-        let avail = d.fifo.len();
+        let fifo = &mut self.daemons.fifo[pd as usize];
+        let avail = fifo.len();
         let k = if avail >= threshold {
             threshold
         } else if force && avail > 0 {
@@ -37,9 +38,11 @@ impl RoccModel {
         };
         let mut count = 0u32;
         let mut sum_gen_ns = 0u64;
-        let mut drain_apps = Vec::with_capacity(k);
+        // Recycled drain-roster storage; returned to the pool when the
+        // collect cycle finishes draining (see `pd_collect_done`).
+        let mut drain_apps = self.drain_pool.pop().unwrap_or_default();
         for _ in 0..k {
-            let (gen, app) = d.fifo.pop_front().expect("checked len");
+            let (gen, app) = fifo.pop_front().expect("checked len");
             count += 1;
             sum_gen_ns += gen.as_nanos();
             drain_apps.push(app);
@@ -81,17 +84,17 @@ impl RoccModel {
         let Some(timeout_us) = self.cfg.batch_timeout_us else {
             return;
         };
-        let d = &mut self.daemons[pd as usize];
+        let d = &mut self.daemons.hot[pd as usize];
         if d.collecting || d.down {
             return;
         }
-        let Some(&(oldest, _)) = d.fifo.front() else {
+        let Some(&(oldest, _)) = self.daemons.fifo[pd as usize].front() else {
             return;
         };
         d.flush_gen = d.flush_gen.wrapping_add(1);
         let deadline = (oldest + paradyn_des::SimDur::from_micros_f64(timeout_us))
             .max(ctx.now());
-        ctx.schedule_at(
+        ctx.post_at(
             deadline,
             Ev::FlushTimeout {
                 pd,
@@ -103,7 +106,7 @@ impl RoccModel {
     /// A flush timer fired: collect the waiting partial batch unless the
     /// timer is stale.
     pub(crate) fn flush_timeout(&mut self, ctx: &mut Ctx<Ev>, pd: PdId, gen: u32) {
-        if self.daemons[pd as usize].flush_gen != gen {
+        if self.daemons.hot[pd as usize].flush_gen != gen {
             return;
         }
         self.try_collect(ctx, pd, true);
@@ -114,20 +117,21 @@ impl RoccModel {
     /// (Section 6 extension; see [`crate::config::AdaptiveBatch`]).
     pub(crate) fn adapt_tick(&mut self, ctx: &mut Ctx<Ev>, pd: PdId) {
         let a = self.cfg.adaptive.expect("AdaptTick only scheduled when adaptive");
-        let d = &mut self.daemons[pd as usize];
+        let d = &mut self.daemons.hot[pd as usize];
+        let c = &mut self.daemons.cold[pd as usize];
         if d.down {
             // A crashed daemon does no work; skip the adjustment (its low
             // utilization is an outage, not spare capacity) but keep the
             // control loop ticking.
-            d.cpu_at_last_tick_us = d.cpu_used_us;
-            ctx.schedule_in(
+            c.cpu_at_last_tick_us = d.cpu_used_us;
+            ctx.post_in(
                 paradyn_des::SimDur::from_micros_f64(a.interval_us),
                 Ev::AdaptTick { pd },
             );
             return;
         }
-        let used = d.cpu_used_us - d.cpu_at_last_tick_us;
-        d.cpu_at_last_tick_us = d.cpu_used_us;
+        let used = d.cpu_used_us - c.cpu_at_last_tick_us;
+        c.cpu_at_last_tick_us = d.cpu_used_us;
         let util = used / a.interval_us;
         let old = d.batch;
         if util > a.target_pd_util {
@@ -136,11 +140,11 @@ impl RoccModel {
             d.batch = (d.batch / 2).max(a.min_batch);
         }
         if d.batch != old {
-            d.batch_adjustments += 1;
+            c.batch_adjustments += 1;
             // A lower threshold may make the buffered backlog collectable.
             self.maybe_collect(ctx, pd);
         }
-        ctx.schedule_in(
+        ctx.post_in(
             paradyn_des::SimDur::from_micros_f64(a.interval_us),
             Ev::AdaptTick { pd },
         );
@@ -150,45 +154,47 @@ impl RoccModel {
     /// drain the pipes (admitting parked samples and resuming blocked
     /// writers), then put the batch on the network.
     pub(crate) fn pd_collect_done(&mut self, ctx: &mut Ctx<Ev>, pd: PdId, token: Token) {
-        let drain_apps = std::mem::take(
+        let mut drain_apps = std::mem::take(
             &mut self
                 .tokens
                 .get_mut(token)
                 .expect("collect token live")
                 .drain_apps,
         );
-        for app in drain_apps {
+        for &app in &drain_apps {
             self.drain_one(ctx, app);
         }
+        drain_apps.clear();
+        self.drain_pool.push(drain_apps);
         if self.cfg.degradation.is_some() {
             // Draining may have admitted parked samples into the FIFO.
             self.degradation_daemon_check(ctx, pd);
         }
-        self.daemons[pd as usize].collecting = false;
-        if self.daemons[pd as usize].doomed {
+        self.daemons.hot[pd as usize].collecting = false;
+        if self.daemons.hot[pd as usize].doomed {
             // The daemon crashed mid-cycle: the batch dies with it. The
             // pipe slots were still freed above — the samples are gone,
             // not stuck.
-            self.daemons[pd as usize].doomed = false;
+            self.daemons.hot[pd as usize].doomed = false;
             let batch = self.tokens.remove(token).expect("collect token live");
             self.acc.lost_crash += batch.count as u64;
-            self.daemons[pd as usize]
+            self.daemons.cold[pd as usize]
                 .fault_mon
                 .add_lost(batch.count as u64);
-            if !self.daemons[pd as usize].down {
+            if !self.daemons.hot[pd as usize].down {
                 self.maybe_collect(ctx, pd);
             }
             return;
         }
         let count = {
-            let d = &mut self.daemons[pd as usize];
             let count = self.tokens.get(token).expect("collect token live").count;
+            let d = &mut self.daemons.hot[pd as usize];
             d.forwarded_batches += 1;
             d.forwarded_samples += count as u64;
             count
         };
         let p = &self.cfg.params;
-        let demand = p.pd.net_req.sample(&mut self.daemons[pd as usize].net_rng)
+        let demand = p.pd.net_req.sample(&mut self.daemons.hot[pd as usize].net_rng)
             + p.pd_net_per_extra_sample_us * (count as f64 - 1.0);
         self.submit_forward(ctx, pd, token, demand);
         // The daemon is free again; more samples may already be buffered.
@@ -208,7 +214,7 @@ impl RoccModel {
         demand_us: f64,
     ) {
         if let Some(link) = self.cfg.faults.link {
-            let failed = self.daemons[pd as usize].link_rng.next_f64() < link.fail_prob;
+            let failed = self.daemons.cold[pd as usize].link_rng.next_f64() < link.fail_prob;
             if failed {
                 let attempts = {
                     let b = self.tokens.get_mut(token).expect("forward token live");
@@ -218,15 +224,15 @@ impl RoccModel {
                 if attempts > link.max_retries {
                     let batch = self.tokens.remove(token).expect("forward token live");
                     self.acc.lost_link += batch.count as u64;
-                    self.daemons[pd as usize]
+                    self.daemons.cold[pd as usize]
                         .fault_mon
                         .add_lost(batch.count as u64);
                     return;
                 }
-                self.daemons[pd as usize].fault_mon.add_retry();
+                self.daemons.cold[pd as usize].fault_mon.add_retry();
                 let backoff_us =
                     link.backoff_base_us * (1u64 << (attempts - 1).min(20)) as f64;
-                ctx.schedule_in(
+                ctx.post_in(
                     SimDur::from_micros_f64(backoff_us),
                     Ev::RetryForward {
                         pd,
@@ -242,7 +248,7 @@ impl RoccModel {
                 .expect("forward token live")
                 .attempts = 0;
         }
-        let dest = self.forward_dest(self.daemons[pd as usize].node);
+        let dest = self.forward_dest(self.daemons.hot[pd as usize].node);
         self.submit_net(ctx, NetJob::Forward { token, dest }, demand_us);
     }
 
@@ -254,7 +260,7 @@ impl RoccModel {
     pub(crate) fn daemon_crash(&mut self, ctx: &mut Ctx<Ev>, pd: PdId) {
         let now = ctx.now();
         let entries = {
-            let d = &mut self.daemons[pd as usize];
+            let d = &mut self.daemons.hot[pd as usize];
             debug_assert!(!d.down, "crash scheduled while already down");
             d.down = true;
             if d.collecting {
@@ -262,12 +268,12 @@ impl RoccModel {
             }
             // Invalidate any armed flush timer.
             d.flush_gen = d.flush_gen.wrapping_add(1);
-            d.fault_mon.crash_at(now);
-            std::mem::take(&mut d.fifo)
+            self.daemons.cold[pd as usize].fault_mon.crash_at(now);
+            std::mem::take(&mut self.daemons.fifo[pd as usize])
         };
         let n = entries.len() as u64;
         self.acc.lost_crash += n;
-        self.daemons[pd as usize].fault_mon.add_lost(n);
+        self.daemons.cold[pd as usize].fault_mon.add_lost(n);
         for (_gen, app) in entries {
             self.drain_one(ctx, app);
         }
@@ -277,28 +283,28 @@ impl RoccModel {
             // pressure from an ancestor persists across the outage.
             self.degradation_daemon_check(ctx, pd);
         }
-        let delay = self.daemons[pd as usize]
+        let delay = self.daemons.cold[pd as usize]
             .crash
             .as_mut()
             .expect("crash event only scheduled with a crash plan")
             .recovery_delay();
-        ctx.schedule_in(delay, Ev::DaemonRecover { pd });
+        ctx.post_in(delay, Ev::DaemonRecover { pd });
     }
 
     /// The daemon finished restarting: resume collection and schedule its
     /// next failure.
     pub(crate) fn daemon_recover(&mut self, ctx: &mut Ctx<Ev>, pd: PdId) {
         let now = ctx.now();
+        self.daemons.hot[pd as usize].down = false;
         let ttf = {
-            let d = &mut self.daemons[pd as usize];
-            d.down = false;
-            d.fault_mon.recover_at(now);
-            d.crash
+            let c = &mut self.daemons.cold[pd as usize];
+            c.fault_mon.recover_at(now);
+            c.crash
                 .as_mut()
                 .expect("recover event only scheduled with a crash plan")
                 .time_to_failure()
         };
-        ctx.schedule_in(ttf, Ev::DaemonCrash { pd });
+        ctx.post_in(ttf, Ev::DaemonCrash { pd });
         self.maybe_collect(ctx, pd);
     }
 
@@ -315,16 +321,16 @@ impl RoccModel {
     /// Consume one pipe slot of `app`; if a parked sample was waiting, admit
     /// it and resume the blocked writer (timer and paused step).
     pub(crate) fn drain_one(&mut self, ctx: &mut Ctx<Ev>, app: u32) {
-        let a = &mut self.apps[app as usize];
-        let pd = a.pd;
-        if let Some(gen) = a.pipe.drain() {
+        let pd = self.apps.hot[app as usize].pd;
+        if let Some(gen) = self.apps.pipe[app as usize].drain() {
             self.acc.generated_samples += 1;
-            if let Some(since) = a.blocked_since.take() {
+            let c = &mut self.apps.cold[app as usize];
+            if let Some(since) = c.blocked_since.take() {
                 self.acc.writer_block_us += (ctx.now() - since).as_micros_f64();
             }
-            let resume = a.paused.take();
-            let restart_timer = !a.sampling_active;
-            self.daemons[pd as usize].fifo.push_back((gen, app));
+            let resume = c.paused.take();
+            let restart_timer = !c.sampling_active;
+            self.daemons.fifo[pd as usize].push_back((gen, app));
             if restart_timer {
                 self.schedule_next_sample(ctx, app);
             }
@@ -348,7 +354,7 @@ impl RoccModel {
             .cfg
             .params
             .pdm_cpu
-            .sample(&mut self.daemons[node as usize].merge_rng);
+            .sample(&mut self.daemons.cold[node as usize].merge_rng);
         self.submit_cpu(
             ctx,
             self.bank_of(node),
@@ -369,7 +375,7 @@ impl RoccModel {
             .params
             .pd
             .net_req
-            .sample(&mut self.daemons[node as usize].net_rng);
+            .sample(&mut self.daemons.hot[node as usize].net_rng);
         // Merges only occur on MPP trees, where daemon index == node, so
         // `submit_forward`'s destination lookup is the same Main-or-parent
         // hop this relay needs — and the relay hop is subject to the same

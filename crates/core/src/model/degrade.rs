@@ -57,7 +57,7 @@ impl RoccModel {
     /// an ancestor signalled pressure).
     #[inline]
     pub(crate) fn daemon_pressure(&self, pd: PdId) -> bool {
-        let d = &self.daemons[pd as usize];
+        let d = &self.daemons.hot[pd as usize];
         d.shedding || d.remote_pressure
     }
 
@@ -70,17 +70,17 @@ impl RoccModel {
             return;
         };
         let now = ctx.now();
-        let a = &mut self.apps[app as usize];
-        let fill = a.pipe.fill_frac();
-        if !a.pressured && fill >= deg.pipe_hi {
-            a.pressured = true;
-            a.pressure_cleared_at = None;
-            a.throttle_mult = (a.throttle_mult * deg.md_factor).min(deg.max_slowdown);
+        let fill = self.apps.pipe[app as usize].fill_frac();
+        let c = &mut self.apps.cold[app as usize];
+        if !c.pressured && fill >= deg.pipe_hi {
+            c.pressured = true;
+            c.pressure_cleared_at = None;
+            c.throttle_mult = (c.throttle_mult * deg.md_factor).min(deg.max_slowdown);
             self.acc.throttle_events += 1;
             self.arm_throttle_tick(ctx, app);
-        } else if a.pressured && fill <= deg.pipe_lo {
-            a.pressured = false;
-            a.pressure_cleared_at = Some(now);
+        } else if c.pressured && fill <= deg.pipe_lo {
+            c.pressured = false;
+            c.pressure_cleared_at = Some(now);
         }
     }
 
@@ -91,13 +91,13 @@ impl RoccModel {
         let Some(deg) = self.cfg.degradation else {
             return;
         };
-        let a = &mut self.apps[app as usize];
-        if a.throttle_tick_armed || a.throttle_mult <= 1.0 {
+        let c = &mut self.apps.cold[app as usize];
+        if c.throttle_tick_armed || c.throttle_mult <= 1.0 {
             return;
         }
-        a.throttle_tick_armed = true;
-        let gap_us = deg.recover_period_us * (0.5 + a.throttle_rng.next_f64());
-        ctx.schedule_in(SimDur::from_micros_f64(gap_us), Ev::ThrottleTick { app });
+        c.throttle_tick_armed = true;
+        let gap_us = deg.recover_period_us * (0.5 + c.throttle_rng.next_f64());
+        ctx.post_in(SimDur::from_micros_f64(gap_us), Ev::ThrottleTick { app });
     }
 
     /// A recovery tick fired: if pressure has been clear for at least the
@@ -108,16 +108,16 @@ impl RoccModel {
             return;
         };
         let now = ctx.now();
-        let a = &mut self.apps[app as usize];
-        a.throttle_tick_armed = false;
-        if a.throttle_mult <= 1.0 {
+        let c = &mut self.apps.cold[app as usize];
+        c.throttle_tick_armed = false;
+        if c.throttle_mult <= 1.0 {
             return;
         }
-        let recovered = !a.pressured
-            && a.pressure_cleared_at
+        let recovered = !c.pressured
+            && c.pressure_cleared_at
                 .is_some_and(|t| (now - t).as_micros_f64() >= deg.hysteresis_us);
         if recovered {
-            a.throttle_mult = (a.throttle_mult - deg.recover_step).max(1.0);
+            c.throttle_mult = (c.throttle_mult - deg.recover_step).max(1.0);
         }
         self.arm_throttle_tick(ctx, app);
     }
@@ -132,10 +132,11 @@ impl RoccModel {
         };
         let before = self.daemon_pressure(pd);
         {
-            let d = &mut self.daemons[pd as usize];
-            if !d.shedding && d.fifo.len() >= deg.daemon_hi {
+            let len = self.daemons.fifo[pd as usize].len();
+            let d = &mut self.daemons.hot[pd as usize];
+            if !d.shedding && len >= deg.daemon_hi {
                 d.shedding = true;
-            } else if d.shedding && d.fifo.len() <= deg.daemon_lo {
+            } else if d.shedding && len <= deg.daemon_lo {
                 d.shedding = false;
             }
         }
@@ -149,7 +150,7 @@ impl RoccModel {
             return;
         };
         let before = self.daemon_pressure(pd);
-        self.daemons[pd as usize].remote_pressure = on;
+        self.daemons.hot[pd as usize].remote_pressure = on;
         self.apply_pressure_edge(ctx, pd, before, deg);
     }
 
@@ -182,13 +183,13 @@ impl RoccModel {
             if !self.daemon_pressure(pd) {
                 break;
             }
-            let d = &mut self.daemons[pd as usize];
-            let Some(&(_gen, app)) = d.fifo.get(i) else {
+            let fifo = &mut self.daemons.fifo[pd as usize];
+            let Some(&(_gen, app)) = fifo.get(i) else {
                 break;
             };
             let tier = app_tier(app, &deg);
             if tier_sheddable(tier, &deg) {
-                d.fifo.remove(i);
+                fifo.remove(i);
                 self.acc.shed_by_tier[tier] += 1;
                 // Free the pipe slot the shed sample held; this can admit a
                 // parked sample, resume a blocked writer, and clear the
@@ -215,13 +216,13 @@ impl RoccModel {
             return;
         }
         // On MPP, daemon index == node index (heap tree layout).
-        let node = self.daemons[pd as usize].node;
+        let node = self.daemons.hot[pd as usize].node;
         let nodes = self.cfg.nodes as u32;
         for child in [2 * node + 1, 2 * node + 2] {
             if child < nodes {
-                let jitter_us = self.daemons[pd as usize].shed_rng.next_f64() * 1_000.0;
+                let jitter_us = self.daemons.cold[pd as usize].shed_rng.next_f64() * 1_000.0;
                 self.acc.backpressure_events += 1;
-                ctx.schedule_in(
+                ctx.post_in(
                     SimDur::from_micros_f64(jitter_us),
                     Ev::Backpressure { pd: child, on },
                 );

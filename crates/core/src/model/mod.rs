@@ -15,6 +15,7 @@
 //! * PVM-daemon and other-process background load.
 
 mod app;
+pub(crate) mod arena;
 mod background;
 mod daemon;
 mod degrade;
@@ -26,13 +27,14 @@ pub mod types;
 use crate::config::{Arch, SampleTiming, SimConfig};
 use crate::metrics::SimMetrics;
 use crate::pipe::Pipe;
+use arena::{AppCold, AppHot, Apps, DaemonCold, DaemonHot, Daemons};
 use paradyn_des::{
     Ctx, FaultMonitor, FaultSchedule, FcfsServer, Model, Offer, RrCpuBank, Sim, SimDur, SimTime,
     StreamRng, Streams, Submit,
 };
 use paradyn_workload::ProcessClass;
 use std::collections::VecDeque;
-use types::{class_idx, AppId, Batch, CpuJob, CpuKind, Dest, Ev, NetJob, PdId, Token, TokenSlab};
+use types::{class_idx, AppId, Batch, CpuJob, CpuKind, Dest, Ev, NetJob, Token, TokenSlab};
 
 /// Stream-id kinds for reproducible per-element randomness.
 ///
@@ -78,53 +80,6 @@ pub mod stream_kind {
     pub const CHAOS_SCENARIO: u64 = 16;
 }
 
-/// One application process's simulation state.
-pub(crate) struct AppProc {
-    /// Home node.
-    pub node: u32,
-    /// Owning daemon.
-    pub pd: PdId,
-    /// Randomness for CPU bursts.
-    pub cpu_rng: StreamRng,
-    /// Randomness for communication bursts.
-    pub net_rng: StreamRng,
-    /// Randomness for sample timing.
-    pub sample_rng: StreamRng,
-    /// Pipe to the daemon.
-    pub pipe: Pipe,
-    /// When the writer entered its current blocked wait (for
-    /// writer-block-time accounting).
-    pub blocked_since: Option<SimTime>,
-    /// Step the process will resume with once its blocked pipe write
-    /// completes.
-    pub paused: Option<Step>,
-    /// Whether the sampling timer is currently scheduled.
-    pub sampling_active: bool,
-    /// CPU work accumulated since the last barrier (µs).
-    pub work_since_barrier_us: f64,
-    /// Demand of the burst currently on the CPU (µs), for barrier
-    /// accounting at completion.
-    pub current_burst_us: f64,
-    /// Whether the process is waiting at the barrier.
-    pub at_barrier: bool,
-    /// Next replay position for CPU bursts (replay mode only).
-    pub replay_cpu_pos: u64,
-    /// Next replay position for network bursts (replay mode only).
-    pub replay_net_pos: u64,
-    /// Randomness for throttle recovery-tick jitter (degradation
-    /// controller; untouched unless degradation is configured).
-    pub throttle_rng: StreamRng,
-    /// Current sampling-period multiplier (>= 1; 1 = no throttling).
-    pub throttle_mult: f64,
-    /// Whether the pipe is above its high watermark (pressure condition).
-    pub pressured: bool,
-    /// When the pressure condition last cleared (for recovery hysteresis);
-    /// `None` while pressured or never pressured.
-    pub pressure_cleared_at: Option<SimTime>,
-    /// Whether a throttle recovery tick is currently scheduled.
-    pub throttle_tick_armed: bool,
-}
-
 /// What an application process does next.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum Step {
@@ -132,59 +87,6 @@ pub(crate) enum Step {
     Compute,
     /// Start a communication burst.
     Comm,
-}
-
-/// One Paradyn daemon's simulation state.
-pub(crate) struct Daemon {
-    /// Node whose CPU bank runs this daemon (SMP: bank 0).
-    pub node: u32,
-    /// Randomness for collect/forward CPU demands.
-    pub cpu_rng: StreamRng,
-    /// Randomness for network occupancy demands.
-    pub net_rng: StreamRng,
-    /// Randomness for merge work.
-    pub merge_rng: StreamRng,
-    /// FIFO of deposited samples `(generation time, app)` awaiting
-    /// collection.
-    pub fifo: VecDeque<(SimTime, AppId)>,
-    /// Whether a collect CPU request is in flight (the daemon is a single
-    /// process: one cycle at a time).
-    pub collecting: bool,
-    /// Current batch threshold (fixed = config batch; adaptive regulation
-    /// adjusts it per daemon).
-    pub batch: usize,
-    /// Flush-timer generation; timers with a stale generation are ignored.
-    pub flush_gen: u32,
-    /// Cumulative CPU time consumed by this daemon (µs).
-    pub cpu_used_us: f64,
-    /// CPU reading at the last adaptive control tick (µs).
-    pub cpu_at_last_tick_us: f64,
-    /// Number of adaptive batch adjustments made.
-    pub batch_adjustments: u64,
-    /// Batches forwarded so far.
-    pub forwarded_batches: u64,
-    /// Samples forwarded so far.
-    pub forwarded_samples: u64,
-    /// Whether the daemon is currently crashed.
-    pub down: bool,
-    /// Whether the in-flight collection cycle belongs to a crashed daemon
-    /// incarnation (its batch is lost when the CPU work completes).
-    pub doomed: bool,
-    /// Crash/recovery event source (`None` = crash injection off).
-    pub crash: Option<FaultSchedule>,
-    /// Randomness for injected forwarding-link failures.
-    pub link_rng: StreamRng,
-    /// Fault-cost bookkeeping (crashes, losses, retries, downtime).
-    pub fault_mon: FaultMonitor,
-    /// Whether this daemon's own fifo is above its high watermark and the
-    /// daemon is shedding sheddable tiers.
-    pub shedding: bool,
-    /// Whether an ancestor in the forwarding tree signalled pressure (shed
-    /// on its behalf until the credit edge arrives).
-    pub remote_pressure: bool,
-    /// Randomness for backpressure signalling jitter (degradation
-    /// controller; untouched unless degradation is configured).
-    pub shed_rng: StreamRng,
 }
 
 /// Internal metric accumulators.
@@ -237,10 +139,16 @@ pub struct RoccModel {
     /// Shared FCFS network (NOW shared Ethernet / SMP bus); `None` for
     /// contention-free interconnects.
     pub(crate) shared_net: Option<FcfsServer<NetJob>>,
-    pub(crate) apps: Vec<AppProc>,
-    pub(crate) daemons: Vec<Daemon>,
+    pub(crate) apps: Apps,
+    pub(crate) daemons: Daemons,
     pub(crate) tokens: TokenSlab,
     pub(crate) barrier_waiting: Vec<AppId>,
+    /// Recycled storage for the barrier-release roster, so a release cycle
+    /// allocates nothing in the steady state.
+    pub(crate) barrier_scratch: Vec<AppId>,
+    /// Recycled `Batch::drain_apps` vectors (returned when a collect cycle
+    /// finishes draining), so collection allocates nothing steady-state.
+    pub(crate) drain_pool: Vec<Vec<AppId>>,
     pub(crate) main_rng: StreamRng,
     pub(crate) pvmd_rngs: Vec<StreamRng>,
     pub(crate) other_rngs: Vec<StreamRng>,
@@ -279,28 +187,31 @@ impl RoccModel {
 
         let total_apps = cfg.total_apps();
         let total_pds = cfg.total_pds();
-        let apps = (0..total_apps as u32)
-            .map(|gi| {
-                let (node, pd) = match cfg.arch {
-                    Arch::Smp => (0, gi % total_pds as u32),
-                    _ => {
-                        let node = gi / cfg.apps_per_node as u32;
-                        (node, node)
-                    }
-                };
-                AppProc {
+        let mut apps = Apps::with_capacity(total_apps);
+        for gi in 0..total_apps as u32 {
+            let (node, pd) = match cfg.arch {
+                Arch::Smp => (0, gi % total_pds as u32),
+                _ => {
+                    let node = gi / cfg.apps_per_node as u32;
+                    (node, node)
+                }
+            };
+            apps.push(
+                AppHot {
                     node,
                     pd,
                     cpu_rng: streams.stream3(stream_kind::APP_CPU, gi as u64, 0),
                     net_rng: streams.stream3(stream_kind::APP_NET, gi as u64, 0),
+                    current_burst_us: 0.0,
+                    work_since_barrier_us: 0.0,
+                    at_barrier: false,
+                },
+                Pipe::with_policy(cfg.params.pipe_capacity, cfg.faults.overflow),
+                AppCold {
                     sample_rng: streams.stream3(stream_kind::APP_SAMPLE, gi as u64, 0),
-                    pipe: Pipe::with_policy(cfg.params.pipe_capacity, cfg.faults.overflow),
                     blocked_since: None,
                     paused: None,
                     sampling_active: false,
-                    work_since_barrier_us: 0.0,
-                    current_burst_us: 0.0,
-                    at_barrier: false,
                     // Stagger replay starting points so processes are not
                     // in lockstep.
                     replay_cpu_pos: gi as u64 * 1009,
@@ -310,51 +221,56 @@ impl RoccModel {
                     pressured: false,
                     pressure_cleared_at: None,
                     throttle_tick_armed: false,
-                }
-            })
-            .collect();
+                },
+            );
+        }
         // Pre-size hot-path buffers so the steady state allocates nothing:
         // a daemon's FIFO is bounded by its apps' combined pipe capacity
         // (each buffered sample holds a pipe slot).
         let apps_per_pd = total_apps.div_ceil(total_pds);
         let fifo_cap = apps_per_pd * cfg.params.pipe_capacity;
-        let daemons = (0..total_pds as u32)
-            .map(|pd| Daemon {
-                node: match cfg.arch {
-                    Arch::Smp => 0,
-                    _ => pd,
+        let mut daemons = Daemons::with_capacity(total_pds);
+        for pd in 0..total_pds as u32 {
+            daemons.push(
+                DaemonHot {
+                    node: match cfg.arch {
+                        Arch::Smp => 0,
+                        _ => pd,
+                    },
+                    cpu_rng: streams.stream3(stream_kind::PD_CPU, pd as u64, 0),
+                    net_rng: streams.stream3(stream_kind::PD_NET, pd as u64, 0),
+                    collecting: false,
+                    down: false,
+                    doomed: false,
+                    shedding: false,
+                    remote_pressure: false,
+                    batch: match &cfg.adaptive {
+                        Some(a) => cfg.batch.clamp(a.min_batch, a.max_batch),
+                        None => cfg.batch,
+                    },
+                    flush_gen: 0,
+                    cpu_used_us: 0.0,
+                    forwarded_batches: 0,
+                    forwarded_samples: 0,
                 },
-                cpu_rng: streams.stream3(stream_kind::PD_CPU, pd as u64, 0),
-                net_rng: streams.stream3(stream_kind::PD_NET, pd as u64, 0),
-                merge_rng: streams.stream3(stream_kind::PD_MERGE, pd as u64, 0),
-                fifo: VecDeque::with_capacity(fifo_cap),
-                collecting: false,
-                batch: match &cfg.adaptive {
-                    Some(a) => cfg.batch.clamp(a.min_batch, a.max_batch),
-                    None => cfg.batch,
+                VecDeque::with_capacity(fifo_cap),
+                DaemonCold {
+                    merge_rng: streams.stream3(stream_kind::PD_MERGE, pd as u64, 0),
+                    cpu_at_last_tick_us: 0.0,
+                    batch_adjustments: 0,
+                    crash: cfg.faults.daemon_crash.map(|c| {
+                        FaultSchedule::new(
+                            streams.stream3(stream_kind::FAULT_CRASH, pd as u64, 0),
+                            c.mtbf_us,
+                            c.recovery_us,
+                        )
+                    }),
+                    link_rng: streams.stream3(stream_kind::FAULT_LINK, pd as u64, 0),
+                    fault_mon: FaultMonitor::new(),
+                    shed_rng: streams.stream3(stream_kind::CTRL_SHED, pd as u64, 0),
                 },
-                flush_gen: 0,
-                cpu_used_us: 0.0,
-                cpu_at_last_tick_us: 0.0,
-                batch_adjustments: 0,
-                forwarded_batches: 0,
-                forwarded_samples: 0,
-                down: false,
-                doomed: false,
-                crash: cfg.faults.daemon_crash.map(|c| {
-                    FaultSchedule::new(
-                        streams.stream3(stream_kind::FAULT_CRASH, pd as u64, 0),
-                        c.mtbf_us,
-                        c.recovery_us,
-                    )
-                }),
-                link_rng: streams.stream3(stream_kind::FAULT_LINK, pd as u64, 0),
-                fault_mon: FaultMonitor::new(),
-                shedding: false,
-                remote_pressure: false,
-                shed_rng: streams.stream3(stream_kind::CTRL_SHED, pd as u64, 0),
-            })
-            .collect();
+            );
+        }
         let bg_nodes = match cfg.arch {
             Arch::Smp => 1,
             _ => cfg.nodes,
@@ -383,6 +299,8 @@ impl RoccModel {
             // in-flight hops; 4 per daemon covers the steady state.
             tokens: TokenSlab::with_capacity(total_pds * 4),
             barrier_waiting: Vec::with_capacity(total_apps),
+            barrier_scratch: Vec::with_capacity(total_apps),
+            drain_pool: Vec::with_capacity(total_pds),
             overload_on: false,
             acc: Acc::default(),
         }
@@ -409,7 +327,7 @@ impl RoccModel {
         let demand = SimDur::from_micros_f64(demand_us);
         match self.banks[bank as usize].submit(job, demand) {
             Submit::Dispatched { cpu, slice } => {
-                ctx.schedule_in(slice, Ev::Slice { bank, cpu: cpu as u32 });
+                ctx.post_in(slice, Ev::Slice { bank, cpu: cpu as u32 });
             }
             Submit::Queued(_) => {}
         }
@@ -429,11 +347,11 @@ impl RoccModel {
         match &mut self.shared_net {
             Some(server) => {
                 if let Offer::Started(d) = server.submit(ctx.now(), job, demand) {
-                    ctx.schedule_in(d, Ev::NetDone);
+                    ctx.post_in(d, Ev::NetDone);
                 }
             }
             None => {
-                ctx.schedule_in(demand, Ev::Deliver(job));
+                ctx.post_in(demand, Ev::Deliver(job));
             }
         }
     }
@@ -509,44 +427,45 @@ impl RoccModel {
     }
 
     pub(crate) fn total_blocked_deposits(&self) -> u64 {
-        self.apps.iter().map(|a| a.pipe.blocked_deposits()).sum()
+        self.apps.pipe.iter().map(|p| p.blocked_deposits()).sum()
     }
 
     pub(crate) fn mean_daemon_batch(&self) -> f64 {
-        self.daemons.iter().map(|d| d.batch as f64).sum::<f64>() / self.daemons.len() as f64
+        self.daemons.hot.iter().map(|d| d.batch as f64).sum::<f64>() / self.daemons.len() as f64
     }
 
     pub(crate) fn total_batch_adjustments(&self) -> u64 {
-        self.daemons.iter().map(|d| d.batch_adjustments).sum()
+        self.daemons.cold.iter().map(|d| d.batch_adjustments).sum()
     }
 
     pub(crate) fn total_forwarded(&self) -> (u64, u64) {
-        let b = self.daemons.iter().map(|d| d.forwarded_batches).sum();
-        let s = self.daemons.iter().map(|d| d.forwarded_samples).sum();
+        let b = self.daemons.hot.iter().map(|d| d.forwarded_batches).sum();
+        let s = self.daemons.hot.iter().map(|d| d.forwarded_samples).sum();
         (b, s)
     }
 
     /// Samples dropped by lossy pipe overflow, across all pipes.
     pub(crate) fn total_overflow_lost(&self) -> u64 {
-        self.apps.iter().map(|a| a.pipe.lost()).sum()
+        self.apps.pipe.iter().map(|p| p.lost()).sum()
     }
 
     /// Deposits rejected because the writer was already blocked.
     pub(crate) fn total_rejected_deposits(&self) -> u64 {
-        self.apps.iter().map(|a| a.pipe.rejected_deposits()).sum()
+        self.apps.pipe.iter().map(|p| p.rejected_deposits()).sum()
     }
 
     pub(crate) fn total_crashes(&self) -> u64 {
-        self.daemons.iter().map(|d| d.fault_mon.crashes()).sum()
+        self.daemons.cold.iter().map(|d| d.fault_mon.crashes()).sum()
     }
 
     pub(crate) fn total_retries(&self) -> u64 {
-        self.daemons.iter().map(|d| d.fault_mon.retries()).sum()
+        self.daemons.cold.iter().map(|d| d.fault_mon.retries()).sum()
     }
 
     /// Total daemon downtime up to `end`, including still-open outages.
     pub(crate) fn total_downtime_at(&self, end: SimTime) -> SimDur {
         self.daemons
+            .cold
             .iter()
             .fold(SimDur::ZERO, |acc, d| acc + d.fault_mon.downtime_at(end))
     }
@@ -556,10 +475,11 @@ impl RoccModel {
     pub(crate) fn samples_in_flight(&self) -> u64 {
         let parked: u64 = self
             .apps
+            .pipe
             .iter()
-            .map(|a| u64::from(a.pipe.writer_blocked()))
+            .map(|p| u64::from(p.writer_blocked()))
             .sum();
-        let buffered: u64 = self.daemons.iter().map(|d| d.fifo.len() as u64).sum();
+        let buffered: u64 = self.daemons.fifo.iter().map(|f| f.len() as u64).sum();
         let in_batches: u64 = self.tokens.values().map(|b| b.count as u64).sum();
         parked + buffered + in_batches
     }
@@ -577,15 +497,15 @@ impl Model for RoccModel {
                 // Per-daemon attribution for adaptive regulation.
                 match end.job.kind {
                     CpuKind::PdCollect { pd, .. } => {
-                        self.daemons[pd as usize].cpu_used_us += end.ran.as_micros_f64();
+                        self.daemons.hot[pd as usize].cpu_used_us += end.ran.as_micros_f64();
                     }
                     CpuKind::PdMerge { node, .. } => {
-                        self.daemons[node as usize].cpu_used_us += end.ran.as_micros_f64();
+                        self.daemons.hot[node as usize].cpu_used_us += end.ran.as_micros_f64();
                     }
                     _ => {}
                 }
                 if let Some(slice) = end.next_slice {
-                    ctx.schedule_in(slice, Ev::Slice { bank, cpu });
+                    ctx.post_in(slice, Ev::Slice { bank, cpu });
                 }
                 if end.completed {
                     self.cpu_completed(ctx, end.job);
@@ -595,7 +515,7 @@ impl Model for RoccModel {
                 let server = self.shared_net.as_mut().expect("NetDone without server");
                 let (job, _svc, next) = server.complete(ctx.now());
                 if let Some(d) = next {
-                    ctx.schedule_in(d, Ev::NetDone);
+                    ctx.post_in(d, Ev::NetDone);
                 }
                 self.delivered(ctx, job);
             }
@@ -635,38 +555,38 @@ impl RoccModel {
             if let Some(a) = self.cfg.adaptive {
                 let interval = SimDur::from_micros_f64(a.interval_us);
                 for pd in 0..self.daemons.len() as u32 {
-                    ctx.schedule_in(interval, Ev::AdaptTick { pd });
+                    ctx.post_in(interval, Ev::AdaptTick { pd });
                 }
             }
             // Fault injection only makes sense with a live IS; nothing is
             // scheduled (and no random draws happen) when the plan is off,
             // so fault-free runs are bit-identical to the fault-free model.
             for pd in 0..self.daemons.len() as u32 {
-                if let Some(crash) = &mut self.daemons[pd as usize].crash {
+                if let Some(crash) = &mut self.daemons.cold[pd as usize].crash {
                     let ttf = crash.time_to_failure();
-                    ctx.schedule_in(ttf, Ev::DaemonCrash { pd });
+                    ctx.post_in(ttf, Ev::DaemonCrash { pd });
                 }
             }
             if self.cfg.faults.stall.is_some() {
                 let gap = self.draw_stall_gap();
-                ctx.schedule_in(gap, Ev::MainStall);
+                ctx.post_in(gap, Ev::MainStall);
             }
             // Like fault injection, an overload ramp schedules nothing when
             // it is inert (factor 1), so such configs stay bit-identical.
             if let Some(o) = self.cfg.overload {
                 if o.factor > 1.0 {
-                    ctx.schedule_at(SimTime::from_secs_f64(o.at_s), Ev::OverloadRamp);
+                    ctx.post_at(SimTime::from_secs_f64(o.at_s), Ev::OverloadRamp);
                 }
             }
         }
         if self.cfg.background {
             for node in 0..self.pvmd_rngs.len() as u32 {
                 let d = self.draw_interarrival(node, BgKind::Pvmd);
-                ctx.schedule_in(d, Ev::PvmdArrival { node });
+                ctx.post_in(d, Ev::PvmdArrival { node });
                 let d = self.draw_interarrival(node, BgKind::OtherCpu);
-                ctx.schedule_in(d, Ev::OtherCpuArrival { node });
+                ctx.post_in(d, Ev::OtherCpuArrival { node });
                 let d = self.draw_interarrival(node, BgKind::OtherNet);
-                ctx.schedule_in(d, Ev::OtherNetArrival { node });
+                ctx.post_in(d, Ev::OtherNetArrival { node });
             }
         }
     }
@@ -684,16 +604,16 @@ impl RoccModel {
                 period /= o.factor;
             }
         }
-        let a = &mut self.apps[app as usize];
-        let period = period * a.throttle_mult;
+        let c = &mut self.apps.cold[app as usize];
+        let period = period * c.throttle_mult;
         let gap = match self.cfg.sampling {
             SampleTiming::Exponential => {
-                paradyn_stats::Rv::exp(period).sample(&mut a.sample_rng)
+                paradyn_stats::Rv::exp(period).sample(&mut c.sample_rng)
             }
             SampleTiming::Periodic => period,
         };
-        a.sampling_active = true;
-        ctx.schedule_in(SimDur::from_micros_f64(gap), Ev::Sample { app });
+        c.sampling_active = true;
+        ctx.post_in(SimDur::from_micros_f64(gap), Ev::Sample { app });
     }
 }
 
@@ -729,7 +649,7 @@ impl RoccModel {
             s.stall_us,
         );
         let gap = self.draw_stall_gap();
-        ctx.schedule_in(gap, Ev::MainStall);
+        ctx.post_in(gap, Ev::MainStall);
     }
 
     pub(crate) fn draw_interarrival(&mut self, node: u32, kind: BgKind) -> SimDur {
@@ -758,6 +678,6 @@ pub fn build(cfg: &SimConfig) -> Sim<RoccModel> {
 /// to compare the timing wheel against the legacy heap on the full model).
 pub fn build_with_calendar(cfg: &SimConfig, kind: paradyn_des::CalendarKind) -> Sim<RoccModel> {
     let mut sim = Sim::with_calendar(RoccModel::new(cfg.clone()), kind);
-    sim.ctx().schedule_at(SimTime::ZERO, Ev::Init);
+    sim.ctx().post_at(SimTime::ZERO, Ev::Init);
     sim
 }

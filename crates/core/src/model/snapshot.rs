@@ -13,8 +13,9 @@
 //! load validate against by-construction invariants instead of trusting
 //! the bytes.
 
+use super::arena::{AppCold, AppHot, Apps, DaemonCold, DaemonHot, Daemons};
 use super::types::{CpuJob, NetJob};
-use super::{Acc, AppProc, Daemon, RoccModel, Step};
+use super::{Acc, RoccModel, Step};
 use crate::config::SimConfig;
 use paradyn_des::{
     fnv1a, CalendarKind, Dec, Enc, FcfsServer, Persist, PersistState, RrCpuBank, Sim, SimTime,
@@ -37,105 +38,174 @@ impl Persist for Step {
     }
 }
 
-impl Persist for AppProc {
+/// The app arena serializes row-major — one complete record per process,
+/// reassembled from the hot/pipe/cold columns — so the frame stays
+/// per-entity even though the in-memory layout is struct-of-arrays.
+impl Persist for Apps {
     fn save(&self, w: &mut Enc) {
-        w.put_u32(self.node);
-        w.put_u32(self.pd);
-        self.cpu_rng.save(w);
-        self.net_rng.save(w);
-        self.sample_rng.save(w);
-        self.pipe.save(w);
-        self.blocked_since.save(w);
-        self.paused.save(w);
-        w.put_bool(self.sampling_active);
-        w.put_f64(self.work_since_barrier_us);
-        w.put_f64(self.current_burst_us);
-        w.put_bool(self.at_barrier);
-        w.put_u64(self.replay_cpu_pos);
-        w.put_u64(self.replay_net_pos);
-        self.throttle_rng.save(w);
-        w.put_f64(self.throttle_mult);
-        w.put_bool(self.pressured);
-        self.pressure_cleared_at.save(w);
-        w.put_bool(self.throttle_tick_armed);
+        w.put_usize(self.len());
+        for i in 0..self.len() {
+            let (h, c) = (&self.hot[i], &self.cold[i]);
+            w.put_u32(h.node);
+            w.put_u32(h.pd);
+            h.cpu_rng.save(w);
+            h.net_rng.save(w);
+            c.sample_rng.save(w);
+            self.pipe[i].save(w);
+            c.blocked_since.save(w);
+            c.paused.save(w);
+            w.put_bool(c.sampling_active);
+            w.put_f64(h.work_since_barrier_us);
+            w.put_f64(h.current_burst_us);
+            w.put_bool(h.at_barrier);
+            w.put_u64(c.replay_cpu_pos);
+            w.put_u64(c.replay_net_pos);
+            c.throttle_rng.save(w);
+            w.put_f64(c.throttle_mult);
+            w.put_bool(c.pressured);
+            c.pressure_cleared_at.save(w);
+            w.put_bool(c.throttle_tick_armed);
+        }
     }
     fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
-        Ok(AppProc {
-            node: r.take_u32()?,
-            pd: r.take_u32()?,
-            cpu_rng: Persist::load(r)?,
-            net_rng: Persist::load(r)?,
-            sample_rng: Persist::load(r)?,
-            pipe: Persist::load(r)?,
-            blocked_since: Persist::load(r)?,
-            paused: Persist::load(r)?,
-            sampling_active: r.take_bool()?,
-            work_since_barrier_us: r.take_f64()?,
-            current_burst_us: r.take_f64()?,
-            at_barrier: r.take_bool()?,
-            replay_cpu_pos: r.take_u64()?,
-            replay_net_pos: r.take_u64()?,
-            throttle_rng: Persist::load(r)?,
-            throttle_mult: r.take_f64()?,
-            pressured: r.take_bool()?,
-            pressure_cleared_at: Persist::load(r)?,
-            throttle_tick_armed: r.take_bool()?,
-        })
+        let n = r.take_usize()?;
+        let mut apps = Apps::with_capacity(n);
+        for _ in 0..n {
+            let node = r.take_u32()?;
+            let pd = r.take_u32()?;
+            let cpu_rng = Persist::load(r)?;
+            let net_rng = Persist::load(r)?;
+            let sample_rng = Persist::load(r)?;
+            let pipe = Persist::load(r)?;
+            let blocked_since = Persist::load(r)?;
+            let paused = Persist::load(r)?;
+            let sampling_active = r.take_bool()?;
+            let work_since_barrier_us = r.take_f64()?;
+            let current_burst_us = r.take_f64()?;
+            let at_barrier = r.take_bool()?;
+            let replay_cpu_pos = r.take_u64()?;
+            let replay_net_pos = r.take_u64()?;
+            let throttle_rng = Persist::load(r)?;
+            let throttle_mult = r.take_f64()?;
+            let pressured = r.take_bool()?;
+            let pressure_cleared_at = Persist::load(r)?;
+            let throttle_tick_armed = r.take_bool()?;
+            apps.push(
+                AppHot {
+                    node,
+                    pd,
+                    cpu_rng,
+                    net_rng,
+                    current_burst_us,
+                    work_since_barrier_us,
+                    at_barrier,
+                },
+                pipe,
+                AppCold {
+                    sample_rng,
+                    blocked_since,
+                    paused,
+                    sampling_active,
+                    replay_cpu_pos,
+                    replay_net_pos,
+                    throttle_rng,
+                    throttle_mult,
+                    pressured,
+                    pressure_cleared_at,
+                    throttle_tick_armed,
+                },
+            );
+        }
+        Ok(apps)
     }
 }
 
-impl Persist for Daemon {
+/// Row-major daemon records, mirroring [`Apps`].
+impl Persist for Daemons {
     fn save(&self, w: &mut Enc) {
-        w.put_u32(self.node);
-        self.cpu_rng.save(w);
-        self.net_rng.save(w);
-        self.merge_rng.save(w);
-        self.fifo.save(w);
-        w.put_bool(self.collecting);
-        w.put_usize(self.batch);
-        w.put_u32(self.flush_gen);
-        w.put_f64(self.cpu_used_us);
-        w.put_f64(self.cpu_at_last_tick_us);
-        w.put_u64(self.batch_adjustments);
-        w.put_u64(self.forwarded_batches);
-        w.put_u64(self.forwarded_samples);
-        w.put_bool(self.down);
-        w.put_bool(self.doomed);
-        self.crash.save(w);
-        self.link_rng.save(w);
-        self.fault_mon.save(w);
-        w.put_bool(self.shedding);
-        w.put_bool(self.remote_pressure);
-        self.shed_rng.save(w);
+        w.put_usize(self.len());
+        for i in 0..self.len() {
+            let (h, c) = (&self.hot[i], &self.cold[i]);
+            w.put_u32(h.node);
+            h.cpu_rng.save(w);
+            h.net_rng.save(w);
+            c.merge_rng.save(w);
+            self.fifo[i].save(w);
+            w.put_bool(h.collecting);
+            w.put_usize(h.batch);
+            w.put_u32(h.flush_gen);
+            w.put_f64(h.cpu_used_us);
+            w.put_f64(c.cpu_at_last_tick_us);
+            w.put_u64(c.batch_adjustments);
+            w.put_u64(h.forwarded_batches);
+            w.put_u64(h.forwarded_samples);
+            w.put_bool(h.down);
+            w.put_bool(h.doomed);
+            c.crash.save(w);
+            c.link_rng.save(w);
+            c.fault_mon.save(w);
+            w.put_bool(h.shedding);
+            w.put_bool(h.remote_pressure);
+            c.shed_rng.save(w);
+        }
     }
     fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
-        let d = Daemon {
-            node: r.take_u32()?,
-            cpu_rng: Persist::load(r)?,
-            net_rng: Persist::load(r)?,
-            merge_rng: Persist::load(r)?,
-            fifo: Persist::load(r)?,
-            collecting: r.take_bool()?,
-            batch: r.take_usize()?,
-            flush_gen: r.take_u32()?,
-            cpu_used_us: r.take_f64()?,
-            cpu_at_last_tick_us: r.take_f64()?,
-            batch_adjustments: r.take_u64()?,
-            forwarded_batches: r.take_u64()?,
-            forwarded_samples: r.take_u64()?,
-            down: r.take_bool()?,
-            doomed: r.take_bool()?,
-            crash: Persist::load(r)?,
-            link_rng: Persist::load(r)?,
-            fault_mon: Persist::load(r)?,
-            shedding: r.take_bool()?,
-            remote_pressure: r.take_bool()?,
-            shed_rng: Persist::load(r)?,
-        };
-        if d.batch == 0 {
-            return Err(SnapError::Malformed("daemon batch threshold of zero"));
+        let n = r.take_usize()?;
+        let mut daemons = Daemons::with_capacity(n);
+        for _ in 0..n {
+            let node = r.take_u32()?;
+            let cpu_rng = Persist::load(r)?;
+            let net_rng = Persist::load(r)?;
+            let merge_rng = Persist::load(r)?;
+            let fifo = Persist::load(r)?;
+            let collecting = r.take_bool()?;
+            let batch = r.take_usize()?;
+            let flush_gen = r.take_u32()?;
+            let cpu_used_us = r.take_f64()?;
+            let cpu_at_last_tick_us = r.take_f64()?;
+            let batch_adjustments = r.take_u64()?;
+            let forwarded_batches = r.take_u64()?;
+            let forwarded_samples = r.take_u64()?;
+            let down = r.take_bool()?;
+            let doomed = r.take_bool()?;
+            let crash = Persist::load(r)?;
+            let link_rng = Persist::load(r)?;
+            let fault_mon = Persist::load(r)?;
+            let shedding = r.take_bool()?;
+            let remote_pressure = r.take_bool()?;
+            let shed_rng = Persist::load(r)?;
+            if batch == 0 {
+                return Err(SnapError::Malformed("daemon batch threshold of zero"));
+            }
+            daemons.push(
+                DaemonHot {
+                    node,
+                    cpu_rng,
+                    net_rng,
+                    collecting,
+                    down,
+                    doomed,
+                    shedding,
+                    remote_pressure,
+                    batch,
+                    flush_gen,
+                    cpu_used_us,
+                    forwarded_batches,
+                    forwarded_samples,
+                },
+                fifo,
+                DaemonCold {
+                    merge_rng,
+                    cpu_at_last_tick_us,
+                    batch_adjustments,
+                    crash,
+                    link_rng,
+                    fault_mon,
+                    shed_rng,
+                },
+            );
         }
-        Ok(d)
+        Ok(daemons)
     }
 }
 
@@ -231,11 +301,11 @@ impl PersistState for RoccModel {
         if shared_net.is_some() != self.shared_net.is_some() {
             return Err(SnapError::Malformed("network kind differs from config"));
         }
-        let apps: Vec<AppProc> = Persist::load(r)?;
+        let apps: Apps = Persist::load(r)?;
         if apps.len() != self.apps.len() {
             return Err(SnapError::Malformed("app count differs from config"));
         }
-        let daemons: Vec<Daemon> = Persist::load(r)?;
+        let daemons: Daemons = Persist::load(r)?;
         if daemons.len() != self.daemons.len() {
             return Err(SnapError::Malformed("daemon count differs from config"));
         }
@@ -288,19 +358,23 @@ impl RoccModel {
             i += 1;
             salt.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         };
-        for a in &mut self.apps {
-            a.cpu_rng.perturb(sub());
-            a.net_rng.perturb(sub());
-            a.sample_rng.perturb(sub());
-            a.throttle_rng.perturb(sub());
+        for i in 0..self.apps.len() {
+            let h = &mut self.apps.hot[i];
+            h.cpu_rng.perturb(sub());
+            h.net_rng.perturb(sub());
+            let c = &mut self.apps.cold[i];
+            c.sample_rng.perturb(sub());
+            c.throttle_rng.perturb(sub());
         }
-        for d in &mut self.daemons {
-            d.cpu_rng.perturb(sub());
-            d.net_rng.perturb(sub());
-            d.merge_rng.perturb(sub());
-            d.link_rng.perturb(sub());
-            d.shed_rng.perturb(sub());
-            if let Some(crash) = &mut d.crash {
+        for i in 0..self.daemons.len() {
+            let h = &mut self.daemons.hot[i];
+            h.cpu_rng.perturb(sub());
+            h.net_rng.perturb(sub());
+            let c = &mut self.daemons.cold[i];
+            c.merge_rng.perturb(sub());
+            c.link_rng.perturb(sub());
+            c.shed_rng.perturb(sub());
+            if let Some(crash) = &mut c.crash {
                 crash.perturb(sub());
             }
         }

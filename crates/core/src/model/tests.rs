@@ -28,7 +28,7 @@ fn apps_are_assigned_to_their_node_daemon_on_now() {
         ..quick(Arch::Now { contention_free: true }, 4)
     };
     let model = RoccModel::new(cfg);
-    for (gi, app) in model.apps.iter().enumerate() {
+    for (gi, app) in model.apps.hot.iter().enumerate() {
         assert_eq!(app.node, (gi / 3) as u32);
         assert_eq!(app.pd, app.node, "daemon co-located with its apps");
     }
@@ -49,10 +49,10 @@ fn smp_pools_cpus_and_round_robins_apps_over_daemons() {
     assert_eq!(model.banks.len(), 1);
     assert_eq!(model.banks[0].cpus(), 8);
     assert_eq!(model.daemons.len(), 2);
-    let pds: Vec<u32> = model.apps.iter().map(|a| a.pd).collect();
+    let pds: Vec<u32> = model.apps.hot.iter().map(|a| a.pd).collect();
     assert_eq!(pds, vec![0, 1, 0, 1, 0, 1]);
     // All SMP daemons run on the pooled bank.
-    assert!(model.daemons.iter().all(|d| d.node == 0));
+    assert!(model.daemons.hot.iter().all(|d| d.node == 0));
 }
 
 #[test]
@@ -83,20 +83,20 @@ fn daemon_fifo_drains_to_batch_remainder() {
         batch: 8,
         ..quick(Arch::Now { contention_free: true }, 2)
     });
-    for d in &model.daemons {
+    for (d, fifo) in model.daemons.hot.iter().zip(&model.daemons.fifo) {
         assert!(
-            d.fifo.len() < 8,
+            fifo.len() < 8,
             "daemon buffered {} >= batch 8 at idle horizon",
-            d.fifo.len()
+            fifo.len()
         );
-        assert!(!d.collecting || d.fifo.len() < 8);
+        assert!(!d.collecting || fifo.len() < 8);
     }
 }
 
 #[test]
 fn conservation_generated_equals_buffered_plus_forwarded() {
     let (model, _) = run_model(quick(Arch::Now { contention_free: true }, 4));
-    let buffered: usize = model.daemons.iter().map(|d| d.fifo.len()).sum();
+    let buffered: usize = model.daemons.fifo.iter().map(|f| f.len()).sum();
     let (_, forwarded) = model.total_forwarded();
     // Tokens still carrying drain lists are mid-collection (popped from the
     // FIFO, not yet counted as forwarded); drained tokens are in the

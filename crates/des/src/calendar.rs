@@ -14,35 +14,52 @@
 //!
 //! ## Wheel geometry (see DESIGN.md §5.7)
 //!
-//! * [`LEVELS`] levels of [`SLOTS`] = 2^[`LEVEL_BITS`] buckets each; the
-//!   level-0 bucket spans exactly **1 ns**, level *l* spans 64^*l* ns.
-//!   11 levels × 6 bits = 66 bits, covering the full `u64` clock.
-//! * An event at absolute time `t` lives at the level of the highest bit in
-//!   which `t` differs from the wheel cursor (the time of the last delivered
-//!   event), in bucket `(t >> 6·l) & 63`. Every bucket therefore sits inside
-//!   the cursor's parent bucket at the level above — no ring wraparound.
-//! * A one-word occupancy bitmap per level makes "earliest non-empty bucket"
-//!   a `trailing_zeros` instruction.
+//! All placement math runs in the **key domain**: `key(t) = t >> RES_BITS`.
+//! A level-0 bucket spans 2^[`RES_BITS`] = 64 ns. The resolution trades
+//! cascade depth against staged-queue sorting: events closer together than
+//! one bucket share a key and must be kept `(time, seq)`-sorted when the
+//! bucket is staged, which degenerates into an O(n) insertion sort once
+//! typical inter-event gaps fall below the bucket span (a 4 µs bucket
+//! turned the dense timer-bank benchmark into exactly that). 64 ns sits
+//! under the gaps of every measured workload while still shaving one
+//! cascade level off the model's millisecond-scale delays relative to
+//! full 1 ns resolution.
+//!
+//! * [`LEVELS`] levels of [`SLOTS`] = 2^[`LEVEL_BITS`] buckets each; level
+//!   *l* spans 64^*l* keys. 10 levels × 6 bits = 60 bits ≥ the 58 key bits
+//!   of the full `u64` nanosecond clock. (A wider 256-bucket geometry was
+//!   measured and rejected: the op mix is identical but the 4× larger,
+//!   scattered bucket array loses on cache locality.)
+//! * An event with key `k` lives at the level of the highest bit in which
+//!   `k` differs from the cursor's key (the cursor is the time of the last
+//!   delivered event), in bucket `(k >> 6·l) & 63`. Every bucket therefore
+//!   sits inside the cursor's parent bucket at the level above — no ring
+//!   wraparound.
+//! * A one-word occupancy bitmap per level makes "earliest non-empty
+//!   bucket" a single `trailing_zeros` instruction, and a cached minimal
+//!   candidate (kept exact by `place`) skips even that scan on most pops.
 //!
 //! ## Determinism argument
 //!
 //! Events must fire in `(time, seq)` order with ties in schedule order, bit
 //! for bit identical to the heap. The wheel guarantees this structurally:
 //!
-//! 1. the earliest candidate bucket is chosen by *bucket base time*, and on a
-//!    base-time tie a higher level is promoted (cascaded) before a level-0
+//! 1. the earliest candidate bucket is chosen by *bucket base key*, and on a
+//!    base-key tie a higher level is promoted (cascaded) before a level-0
 //!    bucket is delivered, so no event can hide above a bucket being drained;
-//! 2. a level-0 bucket holds exactly one timestamp (1 ns wide), and is
-//!    **sorted by `seq`** when staged for delivery, so tie order never
-//!    depends on cascade history;
-//! 3. `seq` is globally monotone, so events scheduled *after* a bucket is
-//!    staged (necessarily with larger `seq`) are appended behind it.
+//! 2. a level-0 bucket holds exactly one key (entries within 2^RES_BITS ns
+//!    of each other), and is **sorted by `(time, seq)`** when staged for
+//!    delivery, so order never depends on cascade history;
+//! 3. `seq` is globally monotone and the staged queue is kept sorted: an
+//!    event scheduled *into the staged key* after staging is inserted at its
+//!    `(time, seq)` position (almost always the back).
 //!
 //! The differential property test (`tests/calendar_diff.rs`) drives random
 //! schedule/cancel/run sequences through both backends and asserts identical
 //! `(time, event)` traces.
 
 use crate::time::SimTime;
+
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -50,8 +67,21 @@ use std::collections::{BinaryHeap, VecDeque};
 pub const LEVEL_BITS: u32 = 6;
 /// Buckets per wheel level.
 pub const SLOTS: usize = 1 << LEVEL_BITS;
-/// Wheel levels; `LEVELS * LEVEL_BITS >= 64` covers the whole clock.
-pub const LEVELS: usize = 11;
+/// 64-bit words per level-occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
+/// Resolution shift: a level-0 bucket spans `2^RES_BITS` nanoseconds.
+/// Placement keys are `at >> RES_BITS`; full-resolution order within a
+/// bucket is restored by the `(time, seq)` sort at staging time.
+pub const RES_BITS: u32 = 6;
+/// Wheel levels; `LEVELS * LEVEL_BITS >= 64 - RES_BITS` covers the whole
+/// key space.
+pub const LEVELS: usize = 10;
+
+/// Placement key of an absolute time: the wheel's unit of geometry.
+#[inline]
+fn key(at: u64) -> u64 {
+    at >> RES_BITS
+}
 
 /// Handle to a scheduled event, usable for cancellation.
 ///
@@ -115,6 +145,13 @@ const VACANT: u32 = 0;
 const LIVE: u32 = 1;
 const CANCELLED: u32 = 2;
 
+/// Sentinel slot index for fire-and-forget entries scheduled through the
+/// no-handle path ([`Calendar::schedule_nocancel`]): no slab slot is
+/// allocated, the entry can never be cancelled, and release is a no-op.
+/// Most model events (the ROCC hot path never cancels) take this path, so
+/// the steady state does no slab work at all.
+const NO_SLOT: u32 = u32::MAX;
+
 /// Generation-stamped slot arena: one slot per pending event. O(1) alloc,
 /// cancel, and release; size bounded by peak concurrent pending events.
 struct Slab {
@@ -124,10 +161,8 @@ struct Slab {
 
 impl Slab {
     fn new() -> Slab {
-        Slab {
-            slots: Vec::new(),
-            free: Vec::new(),
-        }
+        // lint:allow(hot-path-alloc): construction-time; both vecs start empty
+        Slab { slots: Vec::new(), free: Vec::new() }
     }
 
     #[inline]
@@ -162,13 +197,19 @@ impl Slab {
 
     #[inline]
     fn is_cancelled(&self, idx: u32) -> bool {
-        self.slots[idx as usize] & STATE_MASK == CANCELLED
+        // Fire-and-forget entries have no slot and can never be cancelled;
+        // the check short-circuits before touching slab memory.
+        idx != NO_SLOT && self.slots[idx as usize] & STATE_MASK == CANCELLED
     }
 
     /// Free a slot whose entry left the calendar (fired or collected),
-    /// bumping the generation so outstanding handles go stale.
+    /// bumping the generation so outstanding handles go stale. No-op for
+    /// the [`NO_SLOT`] sentinel.
     #[inline]
     fn release(&mut self, idx: u32) {
+        if idx == NO_SLOT {
+            return;
+        }
         let w = &mut self.slots[idx as usize];
         debug_assert_ne!(*w & STATE_MASK, VACANT);
         *w = (*w >> 2).wrapping_add(1) << 2;
@@ -213,42 +254,52 @@ impl<E> Ord for Entry<E> {
 struct Wheel<E> {
     /// Time of the last delivered event (placement reference point).
     cursor: u64,
-    /// Per-level bucket-occupancy bitmaps.
-    occupied: [u64; LEVELS],
+    /// Per-level bucket-occupancy bitmaps, [`WORDS`] words per level.
+    occupied: [[u64; WORDS]; LEVELS],
     /// Which levels have a non-zero `occupied` bitmap: the candidate scan
     /// only visits set bits instead of all [`LEVELS`] levels.
     level_summary: u16,
     /// `LEVELS * SLOTS` flat bucket array; buckets keep their capacity
     /// across drains, so the steady-state hot path allocates nothing.
     buckets: Vec<Vec<Entry<E>>>,
-    /// Staged level-0 bucket: entries sharing one timestamp, sorted by
-    /// `seq`, delivered from the front.
+    /// Staged level-0 bucket: entries sharing one placement key, sorted by
+    /// `(at, seq)`, delivered from the front.
     due: VecDeque<Entry<E>>,
-    /// Timestamp of the staged entries (meaningful iff `due` is non-empty).
-    due_time: u64,
-    /// Set when an event *earlier* than `due_time` was placed into the
-    /// wheel while `due` was staged (only possible after a horizon stop).
-    /// While clear, the staged front is provably the global minimum and
-    /// pops skip the candidate scan entirely.
+    /// Placement key of the staged entries (meaningful iff `due` is
+    /// non-empty).
+    due_key: u64,
+    /// Set when an event whose bucket precedes or spans `due_key` was
+    /// placed into the wheel while `due` was staged (only possible after a
+    /// horizon stop). While clear, the staged front is provably the global
+    /// minimum and pops skip the candidate scan entirely.
     due_dirty: bool,
+    /// Cached minimal candidate bucket `(base, level, index)`. When `Some`,
+    /// it is the provably earliest occupied bucket: scans and cascades seed
+    /// it (a scan also records the runner-up, which becomes the cache when
+    /// the minimum is consumed), and [`Wheel::place`] keeps it exact by
+    /// replacing it with any placement that lands earlier. Pops consume it
+    /// instead of rescanning; `None` means "unknown — scan".
+    saved: Option<(u64, usize, usize)>,
 }
 
+/// Width of a level's bucket, in keys.
 #[inline]
 fn level_width(level: usize) -> u64 {
     1u64 << (LEVEL_BITS * level as u32)
 }
 
+/// Bucket index of key `k` at `level`.
 #[inline]
-fn bucket_index(at: u64, level: usize) -> usize {
-    ((at >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize
+fn bucket_index(k: u64, level: usize) -> usize {
+    ((k >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize
 }
 
-/// Level of the highest bit in which `at` differs from `cursor` (0 when
-/// equal): the unique level whose bucket for `at` lies inside the cursor's
+/// Level of the highest bit in which key `k` differs from key `ck` (0 when
+/// equal): the unique level whose bucket for `k` lies inside the cursor's
 /// parent bucket.
 #[inline]
-fn level_for(at: u64, cursor: u64) -> usize {
-    let x = at ^ cursor;
+fn level_for(k: u64, ck: u64) -> usize {
+    let x = k ^ ck;
     if x == 0 {
         0
     } else {
@@ -260,25 +311,24 @@ impl<E> Wheel<E> {
     fn new() -> Wheel<E> {
         Wheel {
             cursor: 0,
-            occupied: [0; LEVELS],
+            occupied: [[0; WORDS]; LEVELS],
             level_summary: 0,
+            // lint:allow(hot-path-alloc): construction-time bucket array
             buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
             due: VecDeque::new(),
-            due_time: 0,
+            due_key: 0,
             due_dirty: false,
+            saved: None,
         }
     }
 
-    /// Absolute start time of bucket `i` at `level`, relative to the
-    /// cursor's parent at that level.
+    /// Start key of bucket `i` at `level`, relative to the cursor's parent
+    /// at that level.
     #[inline]
     fn bucket_base(&self, level: usize, i: usize) -> u64 {
         let shift = LEVEL_BITS * (level as u32 + 1);
-        let parent = if shift >= 64 {
-            0
-        } else {
-            (self.cursor >> shift) << shift
-        };
+        let ck = key(self.cursor);
+        let parent = if shift >= 64 { 0 } else { (ck >> shift) << shift };
         parent + ((i as u64) << (LEVEL_BITS * level as u32))
     }
 
@@ -291,7 +341,7 @@ impl<E> Wheel<E> {
     #[inline]
     fn insert(&mut self, e: Entry<E>, no_live: bool) {
         if no_live && self.due.is_empty() && self.level_summary == 0 {
-            self.due_time = e.at;
+            self.due_key = key(e.at);
             self.due_dirty = false;
             self.due.push_back(e);
         } else {
@@ -299,43 +349,104 @@ impl<E> Wheel<E> {
         }
     }
 
-    /// Insert an entry. Returns the `(base, level, index)` of the bucket it
-    /// landed in, or `None` when it joined the staged `due` queue.
-    #[inline]
+    /// Splice an entry into the staged queue at its `(at, seq)` position.
+    /// New entries carry the globally maximal `seq` and almost always the
+    /// largest `(at, seq)` too, so the scan from the back is O(1) in
+    /// practice.
+    #[inline(never)]
+    fn splice_into_due(&mut self, e: Entry<E>) {
+        let k = (e.at, e.seq);
+        let mut pos = self.due.len();
+        while pos > 0 {
+            let p = &self.due[pos - 1];
+            if (p.at, p.seq) <= k {
+                break;
+            }
+            pos -= 1;
+        }
+        self.due.insert(pos, e);
+    }
+
+    /// Insert an entry. Returns the `(base, level, index)` — all in the key
+    /// domain — of the bucket it landed in, or `None` when it joined the
+    /// staged `due` queue.
     fn place(&mut self, e: Entry<E>) -> Option<(u64, usize, usize)> {
-        if !self.due.is_empty() && e.at == self.due_time {
-            // Same timestamp as the staged bucket: `seq` is globally
-            // monotone, so appending preserves tie order.
-            self.due.push_back(e);
+        let k = key(e.at);
+        if !self.due.is_empty() && k == self.due_key {
+            // Same placement key as the staged bucket: splice at the
+            // `(at, seq)` position (the back, unless the staged bucket
+            // spans several timestamps and this one lands mid-queue).
+            self.splice_into_due(e);
             return None;
         }
-        let level = level_for(e.at, self.cursor);
-        let i = bucket_index(e.at, level);
-        // The bucket is width-aligned and contains `e.at`.
-        let base = e.at & !(level_width(level) - 1);
-        if !self.due.is_empty() && base <= self.due_time {
-            // The entry precedes the staged timestamp, or its bucket's
-            // range spans it. The spanning case matters too: delivering
-            // `due` would rest the cursor inside this bucket's range, and
-            // later placements could then nest buckets inside it —
-            // breaking the range disjointness that `cascade`'s returned
-            // candidate and the single-entry delivery rely on. Either way
-            // the next pop rescans, cascading this bucket before the
-            // staged front fires.
+        let level = level_for(k, key(self.cursor));
+        let i = bucket_index(k, level);
+        // The bucket is width-aligned and contains `k`.
+        let base = k & !(level_width(level) - 1);
+        if !self.due.is_empty() && base <= self.due_key {
+            // The entry's bucket precedes the staged key, or its range
+            // spans it. The spanning case matters too: delivering `due`
+            // would rest the cursor inside this bucket's range, and later
+            // placements could then nest buckets inside it — breaking the
+            // range disjointness that `cascade`'s returned candidate and
+            // the single-entry delivery rely on. Either way the next pop
+            // rescans, cascading this bucket before the staged front fires.
             self.due_dirty = true;
         }
-        self.occupied[level] |= 1 << i;
-        self.level_summary |= 1 << level;
+        self.set_bucket_bit(level, i);
         self.buckets[level * SLOTS + i].push(e);
+        // Keep the cached minimal candidate exact: a placement that lands
+        // earlier (base order, ties to the higher level) becomes the cache.
+        if let Some((sb, sl, _)) = self.saved {
+            if base < sb || (base == sb && level >= sl) {
+                self.saved = Some((base, level, i));
+            }
+        }
         Some((base, level, i))
+    }
+
+    /// Mark bucket `i` at `level` occupied in the occupancy bitmaps.
+    #[inline]
+    fn set_bucket_bit(&mut self, level: usize, i: usize) {
+        self.occupied[level][i >> 6] |= 1 << (i & 63);
+        self.level_summary |= 1 << level;
     }
 
     /// Mark bucket `i` at `level` empty in the occupancy bitmaps.
     #[inline]
     fn clear_bucket_bit(&mut self, level: usize, i: usize) {
-        self.occupied[level] &= !(1 << i);
-        if self.occupied[level] == 0 {
+        self.occupied[level][i >> 6] &= !(1 << (i & 63));
+        if self.occupied[level] == [0; WORDS] {
             self.level_summary &= !(1 << level);
+        }
+    }
+
+    /// Lowest-index occupied bucket at `level`, if any.
+    #[inline]
+    fn first_occupied(&self, level: usize) -> Option<usize> {
+        for (w, &word) in self.occupied[level].iter().enumerate() {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Lowest occupied bucket at `level` with index strictly greater than
+    /// `after`, if any.
+    #[inline]
+    fn next_occupied(&self, level: usize, after: usize) -> Option<usize> {
+        let mut w = after >> 6;
+        let mut word = self.occupied[level][w] & (u64::MAX.checked_shl(1 + (after & 63) as u32).unwrap_or(0));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= WORDS {
+                return None;
+            }
+            word = self.occupied[level][w];
         }
     }
 
@@ -343,38 +454,70 @@ impl<E> Wheel<E> {
     /// on a base tie the *highest* level wins so it cascades before any
     /// same-base level-0 bucket is delivered. Buckets wholly behind the
     /// cursor hold only cancelled leftovers and are collected on sight.
-    fn min_candidate(&mut self, slab: &mut Slab) -> Option<(u64, usize, usize)> {
+    fn min_candidate(
+        &mut self,
+        slab: &mut Slab,
+    ) -> (Option<(u64, usize, usize)>, Option<(u64, usize, usize)>) {
+        // Candidate order: base ascending, ties to the *higher* level (the
+        // wider bucket must cascade before a same-base narrower one fires).
+        #[inline]
+        fn earlier(a: (u64, usize, usize), b: (u64, usize, usize)) -> bool {
+            a.0 < b.0 || (a.0 == b.0 && a.1 > b.1)
+        }
+        #[inline]
+        fn consider(
+            best: &mut Option<(u64, usize, usize)>,
+            second: &mut Option<(u64, usize, usize)>,
+            cand: (u64, usize, usize),
+        ) {
+            match *best {
+                None => *best = Some(cand),
+                Some(b) if earlier(cand, b) => {
+                    *second = Some(b);
+                    *best = Some(cand);
+                }
+                Some(_) => match *second {
+                    Some(s) if !earlier(cand, s) => {}
+                    _ => *second = Some(cand),
+                },
+            }
+        }
         let mut best: Option<(u64, usize, usize)> = None;
+        let mut second: Option<(u64, usize, usize)> = None;
         let mut levels = self.level_summary;
         while levels != 0 {
             let level = levels.trailing_zeros() as usize;
             levels &= levels - 1;
             loop {
-                let bm = self.occupied[level];
-                if bm == 0 {
-                    self.level_summary &= !(1 << level);
-                    break;
-                }
-                let i = bm.trailing_zeros() as usize;
+                let i = match self.first_occupied(level) {
+                    Some(i) => i,
+                    None => {
+                        self.level_summary &= !(1 << level);
+                        break;
+                    }
+                };
                 let base = self.bucket_base(level, i);
-                if base.saturating_add(level_width(level)) <= self.cursor {
+                if base.saturating_add(level_width(level)) <= key(self.cursor) {
                     // Stale bucket: every live event is at or after the
                     // cursor, so anything here was cancelled. Collect it.
                     for e in self.buckets[level * SLOTS + i].drain(..) {
                         debug_assert!(slab.is_cancelled(e.slot));
                         slab.release(e.slot);
                     }
-                    self.occupied[level] &= !(1 << i);
+                    self.occupied[level][i >> 6] &= !(1 << (i & 63));
                     continue;
                 }
-                match best {
-                    Some((b, bl, _)) if b < base || (b == base && bl >= level) => {}
-                    _ => best = Some((base, level, i)),
+                consider(&mut best, &mut second, (base, level, i));
+                // The level's runner-up (if any) so the global runner-up is
+                // exact: within a level later indexes mean later bases, so
+                // only the next occupied bucket can contend.
+                if let Some(j) = self.next_occupied(level, i) {
+                    consider(&mut best, &mut second, (self.bucket_base(level, j), level, j));
                 }
                 break;
             }
         }
-        best
+        (best, second)
     }
 
     /// Redistribute one level>0 bucket to lower levels, first advancing the
@@ -395,11 +538,8 @@ impl<E> Wheel<E> {
         i: usize,
     ) -> Option<(u64, usize, usize)> {
         debug_assert!(level > 0);
-        self.cursor = self.cursor.max(base);
-        self.occupied[level] &= !(1 << i);
-        if self.occupied[level] == 0 {
-            self.level_summary &= !(1 << level);
-        }
+        self.cursor = self.cursor.max(base << RES_BITS);
+        self.clear_bucket_bit(level, i);
         let mut bucket = std::mem::take(&mut self.buckets[level * SLOTS + i]);
         let mut best: Option<(u64, usize, usize)> = None;
         for e in bucket.drain(..) {
@@ -407,7 +547,7 @@ impl<E> Wheel<E> {
                 slab.release(e.slot);
             } else {
                 debug_assert!(
-                    level_for(e.at, self.cursor) < level,
+                    level_for(key(e.at), key(self.cursor)) < level,
                     "cascade non-descent: at={} seq={} slot={} cursor={} base={} level={} i={}",
                     e.at,
                     e.seq,
@@ -430,25 +570,22 @@ impl<E> Wheel<E> {
         best
     }
 
-    /// Stage a level-0 bucket for delivery: drain it, sort by `seq` (one
-    /// timestamp per bucket, so this is the full `(time, seq)` order), and
-    /// expose it as the `due` queue.
+    /// Stage a level-0 bucket for delivery: drain it, sort by `(at, seq)`
+    /// (one placement key per bucket, so this is the full delivery order),
+    /// and expose it as the `due` queue.
     fn stage(&mut self, base: u64, i: usize) {
         debug_assert!(self.due.is_empty());
-        self.occupied[0] &= !(1 << i);
-        if self.occupied[0] == 0 {
-            self.level_summary &= !1;
-        }
+        self.clear_bucket_bit(0, i);
         let mut bucket = std::mem::take(&mut self.buckets[i]);
-        bucket.sort_unstable_by_key(|e| e.seq);
+        bucket.sort_unstable_by_key(|e| (e.at, e.seq));
         self.due.extend(bucket.drain(..));
         std::mem::swap(&mut self.buckets[i], &mut bucket);
-        self.due_time = base;
+        self.due_key = base;
         self.due_dirty = false;
     }
 
     /// Push staged entries back into the wheel. Needed when an event is
-    /// scheduled *earlier* than the staged timestamp after a horizon stop —
+    /// scheduled *earlier* than the staged key after a horizon stop —
     /// rare, and re-staging re-sorts, so order is unaffected. Cancelled
     /// entries (including pre-fast-forward leftovers staged from a reused
     /// bucket) are collected here rather than re-placed.
@@ -458,11 +595,10 @@ impl<E> Wheel<E> {
                 slab.release(e.slot);
                 continue;
             }
-            debug_assert_eq!(e.at, self.due_time);
-            let level = level_for(e.at, self.cursor);
-            let i = bucket_index(e.at, level);
-            self.occupied[level] |= 1 << i;
-            self.level_summary |= 1 << level;
+            debug_assert_eq!(key(e.at), self.due_key);
+            let level = level_for(key(e.at), key(self.cursor));
+            let i = bucket_index(key(e.at), level);
+            self.set_bucket_bit(level, i);
             self.buckets[level * SLOTS + i].push(e);
         }
     }
@@ -471,11 +607,11 @@ impl<E> Wheel<E> {
     /// cancelled entries encountered on the way.
     ///
     /// While `due_dirty` is clear the staged front is the global minimum
-    /// (placements since staging were either appended behind it or landed
-    /// in buckets whose ranges lie strictly after `due_time`), so the
+    /// (placements since staging were either spliced into the staged queue
+    /// or landed in buckets whose ranges lie strictly after `due_key`), so the
     /// common self-rescheduling shape is a queue pop with no scan;
     /// everything else is the outlined slow path.
-    #[inline]
+    #[inline(always)]
     fn pop_next_before(&mut self, slab: &mut Slab, horizon: u64) -> Option<(u64, E)> {
         if !self.due_dirty {
             if let Some(f) = self.due.front() {
@@ -494,10 +630,8 @@ impl<E> Wheel<E> {
         self.pop_slow(slab, horizon)
     }
 
+    #[inline(never)]
     fn pop_slow(&mut self, slab: &mut Slab, horizon: u64) -> Option<(u64, E)> {
-        // A cascade hands the next candidate straight to the following loop
-        // iteration (see `cascade`), skipping the bitmap scan.
-        let mut cached: Option<(u64, usize, usize)> = None;
         loop {
             // Collect cancelled entries at the staged front.
             while let Some(f) = self.due.front() {
@@ -511,8 +645,8 @@ impl<E> Wheel<E> {
             if let Some(f) = self.due.front() {
                 // Fast path: while `due_dirty` is clear the staged front is
                 // the global minimum (placements since staging were either
-                // appended here or landed in buckets wholly after
-                // `due_time`), so no candidate scan is needed at all.
+                // spliced in here or landed in buckets wholly after
+                // `due_key`), so no candidate scan is needed at all.
                 if !self.due_dirty {
                     if f.at > horizon {
                         return None;
@@ -525,22 +659,29 @@ impl<E> Wheel<E> {
                 }
             }
             let due_t = self.due.front().map(|f| f.at);
-            let candidate = match cached.take() {
-                Some(c) => Some(c),
+            // The cached candidate (seeded by a previous scan, a cascade,
+            // or a runner-up promotion, and kept exact by `place`) saves
+            // the bitmap scan entirely; `second` is only populated by a
+            // fresh scan and becomes the cache when the best is consumed.
+            let (candidate, second) = match self.saved.take() {
+                Some(c) => (Some(c), None),
                 None => self.min_candidate(slab),
             };
             match (due_t, candidate) {
                 // The staged front fires only when every bucket starts
-                // *strictly* after it. A bucket base equal to the staged
-                // timestamp is a wider aligned bucket whose range contains
-                // it (its entries all lie later, so order is safe either
-                // way) — it must cascade first so the cursor never comes to
-                // rest inside an occupied bucket's range.
-                (Some(t), c) if c.map_or(true, |(base, _, _)| t < base) => {
+                // *strictly* after its key. A bucket base equal to the
+                // staged key is a wider aligned bucket whose range contains
+                // it (its entries may interleave with the staged run) — it
+                // must cascade first so the cursor never comes to rest
+                // inside an occupied bucket's range.
+                (Some(t), c) if c.map_or(true, |(base, _, _)| self.due_key < base) => {
                     // The scan proved nothing in the wheel precedes or
                     // spans the staged front (whatever set the dirty flag
                     // was cancelled, collected, or cascaded away).
                     self.due_dirty = false;
+                    // The candidate was not consumed: it stays the minimal
+                    // bucket while the staged (strictly earlier) run drains.
+                    self.saved = c;
                     if t > horizon {
                         return None;
                     }
@@ -552,7 +693,13 @@ impl<E> Wheel<E> {
                 }
                 (Some(_), None) => unreachable!("guarded above: due wins when no candidate"),
                 (_, Some((base, level, i))) => {
-                    if base > horizon {
+                    // `base` is a key; its bucket starts at full-resolution
+                    // time `base << RES_BITS`. Conservative horizon check —
+                    // a bucket that *starts* past the horizon cannot hold
+                    // anything due.
+                    if (base << RES_BITS) > horizon {
+                        // Unconsumed: still the minimal bucket next call.
+                        self.saved = Some((base, level, i));
                         return None;
                     }
                     let bi = level * SLOTS + i;
@@ -570,23 +717,39 @@ impl<E> Wheel<E> {
                             let e = self.buckets[bi].pop().expect("len checked");
                             slab.release(e.slot);
                             self.clear_bucket_bit(level, i);
+                            // Bucket consumed: promote the runner-up.
+                            self.saved = second;
                             continue;
                         }
                         if self.buckets[bi][0].at > horizon {
+                            self.saved = Some((base, level, i));
                             return None;
                         }
                         // lint:allow(panic-path): bucket len == 1 checked by the branch guard
                         let e = self.buckets[bi].pop().expect("len checked");
                         self.clear_bucket_bit(level, i);
+                        self.saved = second;
                         slab.release(e.slot);
                         self.cursor = self.cursor.max(e.at);
                         return Some((e.at, e.ev));
                     }
                     if level > 0 {
-                        cached = self.cascade(slab, base, level, i);
+                        // Cascade re-places this bucket's entries, all of
+                        // which precede every other bucket (disjoint ranges)
+                        // including the runner-up: its minimum is the next
+                        // global candidate, falling back to the runner-up
+                        // when every entry was cancelled.
+                        self.saved = self.cascade(slab, base, level, i).or(second);
+                    } else if self.due.is_empty() {
+                        self.stage(base, i);
+                        // The staged run is the minimum; the runner-up is
+                        // the minimal *bucket* once it drains.
+                        self.saved = second;
                     } else {
                         // An earlier bucket outranks the staged timestamp;
-                        // put the staged entries back first.
+                        // put the staged entries back first. Re-placing the
+                        // old staged entries invalidates the runner-up
+                        // (they may precede it), so the cache stays cold.
                         self.unstage(slab);
                         self.stage(base, i);
                     }
@@ -597,7 +760,11 @@ impl<E> Wheel<E> {
     }
 
     fn occupied_buckets(&self) -> usize {
-        self.occupied.iter().map(|bm| bm.count_ones() as usize).sum()
+        self.occupied
+            .iter()
+            .flatten()
+            .map(|bm| bm.count_ones() as usize)
+            .sum()
     }
 }
 
@@ -609,7 +776,7 @@ struct HeapCal<E> {
 }
 
 impl<E> HeapCal<E> {
-    #[inline]
+    #[inline(always)]
     fn pop_next_before(&mut self, slab: &mut Slab, horizon: u64) -> Option<(u64, E)> {
         loop {
             let front = self.heap.peek()?;
@@ -689,6 +856,25 @@ impl<E> Calendar<E> {
         h
     }
 
+    /// Schedule a fire-and-forget entry: no handle, no slab slot, not
+    /// cancellable. The hot-path variant — a model that never cancels pays
+    /// zero slab traffic per event.
+    #[inline]
+    pub(crate) fn schedule_nocancel(&mut self, at: SimTime, seq: u64, ev: E) {
+        let was_empty = self.live == 0;
+        self.live += 1;
+        let e = Entry {
+            at: at.as_nanos(),
+            seq,
+            slot: NO_SLOT,
+            ev,
+        };
+        match &mut self.backend {
+            Backend::Wheel(w) => w.insert(e, was_empty),
+            Backend::Heap(hc) => hc.heap.push(Reverse(e)),
+        }
+    }
+
     /// O(1) cancel. Stale handles (already fired, already cancelled) are
     /// exact no-ops and leave no residue. Returns whether a live event was
     /// cancelled.
@@ -703,7 +889,7 @@ impl<E> Calendar<E> {
 
     /// Deliver the earliest live event with `at <= horizon` in `(time,
     /// seq)` order (ties in schedule order).
-    #[inline]
+    #[inline(always)]
     pub(crate) fn pop_next_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
         let popped = match &mut self.backend {
             Backend::Wheel(w) => w.pop_next_before(&mut self.slab, horizon.as_nanos()),
@@ -714,6 +900,80 @@ impl<E> Calendar<E> {
             return Some((SimTime::from_nanos(at), ev));
         }
         None
+    }
+
+    /// Move every front entry with time exactly `at` out of storage and
+    /// append `(slot, event)` to `out`, in `(time, seq)` order. Slots are
+    /// *not* released and `live` is *not* adjusted: the entries remain
+    /// logically pending (and cancellable) until the driver commits each
+    /// one through [`Calendar::take_batch_entry`] just before dispatch —
+    /// that is what makes a cancellation landing *inside* a batch
+    /// (handler A cancels same-timestamp event B) behave identically to
+    /// one-at-a-time delivery.
+    ///
+    /// Only entries that are provably next in delivery order are drained:
+    /// for the wheel that is the staged `due` run while `due_dirty` is
+    /// clear; for the heap it is the top run. Same-timestamp events that
+    /// are *not* at the front (dirty staging after a horizon stop, or
+    /// events scheduled mid-batch) are left in place — the driver falls
+    /// back to [`Calendar::pop_next_before`] and re-drains, so nothing is
+    /// missed.
+    #[inline(never)]
+    pub(crate) fn drain_batch_at(&mut self, at: SimTime, out: &mut Vec<(u32, E)>) {
+        let at = at.as_nanos();
+        match &mut self.backend {
+            Backend::Wheel(w) => {
+                if w.due_dirty {
+                    return;
+                }
+                while let Some(f) = w.due.front() {
+                    if self.slab.is_cancelled(f.slot) {
+                        // lint:allow(panic-path): front() returned Some above; pop_front cannot fail
+                        let e = w.due.pop_front().expect("front checked");
+                        self.slab.release(e.slot);
+                        continue;
+                    }
+                    if f.at != at {
+                        break;
+                    }
+                    // lint:allow(panic-path): front() returned Some above; pop_front cannot fail
+                    let e = w.due.pop_front().expect("front checked");
+                    out.push((e.slot, e.ev));
+                }
+            }
+            Backend::Heap(h) => loop {
+                match h.heap.peek() {
+                    Some(Reverse(f)) if self.slab.is_cancelled(f.slot) => {
+                        // lint:allow(panic-path): peek() returned Some above; pop cannot fail
+                        let e = h.heap.pop().expect("peeked").0;
+                        self.slab.release(e.slot);
+                    }
+                    Some(Reverse(f)) if f.at == at => {
+                        // lint:allow(panic-path): peek() returned Some above; pop cannot fail
+                        let e = h.heap.pop().expect("peeked").0;
+                        out.push((e.slot, e.ev));
+                    }
+                    _ => break,
+                }
+            },
+        }
+    }
+
+    /// Commit one entry previously drained by [`Calendar::drain_batch_at`]:
+    /// release its slot and report whether it is still live (i.e. should be
+    /// dispatched). A batch entry cancelled after draining was already
+    /// debited from `live` by [`Calendar::cancel`], exactly as if it were
+    /// still in storage.
+    #[inline]
+    pub(crate) fn take_batch_entry(&mut self, slot: u32) -> bool {
+        if self.slab.is_cancelled(slot) {
+            self.slab.release(slot);
+            false
+        } else {
+            self.slab.release(slot);
+            self.live -= 1;
+            true
+        }
     }
 
     /// Visit every live (non-cancelled) entry in storage order.
@@ -805,13 +1065,26 @@ mod tests {
 
     #[test]
     fn placement_levels() {
+        // `level_for` runs in the key domain: two times within one
+        // 2^RES_BITS-ns bucket share a key and a level-0 bucket.
+        assert_eq!(key(0), 0);
+        assert_eq!(key((1 << RES_BITS) - 1), 0);
+        assert_eq!(key(1 << RES_BITS), 1);
+        let s = SLOTS as u64;
         assert_eq!(level_for(0, 0), 0);
-        assert_eq!(level_for(63, 0), 0);
-        assert_eq!(level_for(64, 0), 1);
-        assert_eq!(level_for(64, 63), 1);
-        assert_eq!(level_for(4095, 64), 1);
-        assert_eq!(level_for(4096, 0), 2);
-        assert_eq!(level_for(u64::MAX, 0), 10);
+        assert_eq!(level_for(s - 1, 0), 0);
+        assert_eq!(level_for(s, 0), 1);
+        assert_eq!(level_for(s, s - 1), 1);
+        assert_eq!(level_for(s * s - 1, s), 1);
+        assert_eq!(level_for(s * s, 0), 2);
+        // The largest representable key still fits in the wheel.
+        assert_eq!(level_for(key(u64::MAX), 0), LEVELS - 1);
+        // The model's dominant delays at 64 ns resolution: a 2.2 ms mean
+        // burst has its highest set key bit at 15 (level 2) and a 40 ms
+        // sampling timer at key bit 19 (level 3) — one level shallower
+        // than full 1 ns resolution would place them.
+        assert_eq!(level_for(key(2_200_000), 0), 2);
+        assert_eq!(level_for(key(40_000_000), 0), 3);
     }
 
     #[test]

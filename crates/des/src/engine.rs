@@ -70,6 +70,31 @@ impl<E> Ctx<E> {
         self.schedule_at(self.now + d, ev)
     }
 
+    /// Schedule `ev` at absolute time `at` with no cancellation handle.
+    ///
+    /// The fire-and-forget fast path: no slab slot is allocated, so a model
+    /// that never cancels (the ROCC hot path) pays zero cancellation
+    /// bookkeeping per event. Delivery order is identical to
+    /// [`Ctx::schedule_at`].
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past; causality violations are model bugs.
+    #[inline]
+    pub fn post_at(&mut self, at: SimTime, ev: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.calendar.schedule_nocancel(at, seq, ev);
+    }
+
+    /// Schedule `ev` after a delay of `d` with no cancellation handle
+    /// (see [`Ctx::post_at`]).
+    #[inline]
+    pub fn post_in(&mut self, d: SimDur, ev: E) {
+        self.post_at(self.now + d, ev);
+    }
+
     /// Cancel a previously scheduled event in O(1). Cancelling an event that
     /// has already fired (or was already cancelled) is an exact no-op: the
     /// handle's generation stamp is stale, so nothing is stored and nothing
@@ -110,7 +135,7 @@ impl<E> Ctx<E> {
 
     /// Deliver the next live event at or before `horizon`, advancing the
     /// clock. `None` leaves the clock untouched.
-    #[inline]
+    #[inline(always)]
     fn pop_next_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
         self.calendar.pop_next_before(horizon)
     }
@@ -178,7 +203,9 @@ impl<E> Ctx<E> {
                 return Err(SnapError::Malformed("calendar entries not strictly sorted"));
             }
             prev = Some((at, seq));
-            ctx.calendar.schedule(SimTime::from_nanos(at), seq, ev);
+            // Handles never survive a restore (slab slots and generations
+            // are rebuilt), so restored entries take the no-slab path.
+            ctx.calendar.schedule_nocancel(SimTime::from_nanos(at), seq, ev);
         }
         ctx.next_seq = next_seq;
         ctx.executed = executed;
@@ -192,6 +219,10 @@ pub struct Sim<M: Model> {
     /// The model under simulation; accessible for inspection between runs.
     pub model: M,
     ctx: Ctx<M::Event>,
+    /// Reusable scratch for batched same-timestamp delivery in
+    /// [`Sim::run_until`]. Always empty between calls; kept here so the
+    /// steady state never reallocates it.
+    batch: Vec<(u32, M::Event)>,
 }
 
 impl<M: Model> Sim<M> {
@@ -207,6 +238,8 @@ impl<M: Model> Sim<M> {
         Sim {
             model,
             ctx: Ctx::new(kind),
+            // lint:allow(hot-path-alloc): construction-time batch buffer
+            batch: Vec::new(),
         }
     }
 
@@ -246,11 +279,93 @@ impl<M: Model> Sim<M> {
     /// at the horizon (or at the last event if the calendar drained first).
     /// Only *live* events are consulted: a cancelled entry before the
     /// horizon never causes a later event beyond it to fire early.
+    ///
+    /// Delivery is **batched by timestamp**: after the first event of an
+    /// instant fires, the rest of the same-timestamp run is drained from
+    /// the calendar front in one call and dispatched as a slice in the
+    /// pinned `(time, seq)` order, amortizing the pop machinery across the
+    /// batch. Observable behavior is bit-identical to one-at-a-time
+    /// [`Sim::step`] delivery (`tests/batch_delivery.rs` proves it against
+    /// the heap oracle): each drained entry is re-checked for cancellation
+    /// *immediately before* its dispatch, so a handler cancelling a
+    /// same-timestamp successor suppresses it exactly as it would have
+    /// one-at-a-time, and events scheduled *at* the current instant by a
+    /// batch member still fire within the same instant, after it.
     pub fn run_until(&mut self, horizon: SimTime) {
-        while self.step_bounded(horizon) {}
+        // Tie gate: the clock *before* it advances is the previous event's
+        // time, so `at == now` detects the second member of a tie run with
+        // no loop-carried register (nothing extra live across the handler
+        // call, hence no per-event spill). The comparison can fire
+        // spuriously — the first event of a run, or an event landing
+        // exactly on a previous horizon stop — but a spurious drain of an
+        // instant with no further events is a single outlined call that
+        // finds nothing; delivery order is identical either way. The
+        // *second* member of a real tie still arrives through an ordinary
+        // pop — identical either way — and from there the rest of the
+        // instant is drained as a batch.
+        while let Some((at, ev)) = self.ctx.pop_next_before(horizon) {
+            debug_assert!(at >= self.ctx.now);
+            if at == self.ctx.now {
+                // The branch resolves *before* the handler call, so the
+                // no-tie loop keeps nothing extra live across it.
+                self.step_tie(at, ev);
+                continue;
+            }
+            self.ctx.now = at;
+            self.ctx.executed += 1;
+            self.model.handle(&mut self.ctx, ev);
+        }
         if self.ctx.now < horizon {
             self.ctx.now = horizon;
         }
+    }
+
+    /// Deliver the rest of the instant `at` as a batch (see
+    /// [`Sim::run_until`]); the caller has just dispatched the instant's
+    /// first event and proven a same-timestamp successor exists.
+    /// Dispatch an event that shares its timestamp with the previous one
+    /// (or lands exactly on the prior stop/start time — a spurious but
+    /// harmless match), then drain the rest of the instant as a batch.
+    /// Outlined as one cold unit so [`Sim::run_until`]'s no-tie loop pays
+    /// only the resolved-early comparison.
+    #[cold]
+    #[inline(never)]
+    fn step_tie(&mut self, at: SimTime, ev: M::Event) {
+        self.ctx.now = at;
+        self.ctx.executed += 1;
+        self.model.handle(&mut self.ctx, ev);
+        self.drain_instant(at);
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn drain_instant(&mut self, at: SimTime) {
+        let mut buf = std::mem::take(&mut self.batch);
+        loop {
+            self.ctx.calendar.drain_batch_at(at, &mut buf);
+            if buf.is_empty() {
+                // Same-instant events can still be in an unstaged bucket
+                // (scheduled mid-batch, or staging was dirty): one
+                // ordinary pop re-stages and delivers the next, then
+                // draining resumes. `None` ends the instant.
+                match self.ctx.pop_next_before(at) {
+                    Some((t, ev)) => {
+                        debug_assert_eq!(t, at);
+                        self.ctx.executed += 1;
+                        self.model.handle(&mut self.ctx, ev);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            for (slot, ev) in buf.drain(..) {
+                if self.ctx.calendar.take_batch_entry(slot) {
+                    self.ctx.executed += 1;
+                    self.model.handle(&mut self.ctx, ev);
+                }
+            }
+        }
+        self.batch = buf;
     }
 
     /// Run until the calendar is empty or `max_events` more events have fired.
@@ -342,7 +457,12 @@ where
         if !r.is_empty() {
             return Err(SnapError::TrailingBytes);
         }
-        Ok(Sim { model, ctx })
+        Ok(Sim {
+            model,
+            ctx,
+            // lint:allow(hot-path-alloc): construction-time batch buffer
+            batch: Vec::new(),
+        })
     }
 }
 

@@ -1,0 +1,82 @@
+//! Steady-state zero-allocation gate for the DES hot path (DESIGN.md §10).
+//!
+//! After a warmup long enough for every buffer on the delivery loop to
+//! reach its stable capacity — wheel buckets across all levels the
+//! workload's placement pattern can reach, the staged queue, the engine's
+//! batch buffer, the slot slab, the heap backend's `BinaryHeap` — a
+//! steady-state window of ~10^5 delivered events must produce **zero**
+//! heap operations, for both calendar backends.
+//!
+//! The warmup length is geometry-driven, not arbitrary: a wheel bucket
+//! allocates its storage on first use, and level-*l* bucket indexes only
+//! recur once the cursor wraps that level (64^(l+1) level-0 spans). With
+//! 64-ns level-0 buckets, one full level-2 wrap is 64^3·64 ns ≈ 16.8 ms of
+//! simulated time, so the warmup runs past it; the measured window then
+//! stays clear of the first level-3 boundary crossing after warmup
+//! (2·64^3·64 ns ≈ 33.6 ms). A shorter warmup fails honestly: fresh
+//! level-2 buckets first touched inside the window would each cost one
+//! allocation.
+//!
+//! This is the cause-side gate for the `hot-path-alloc` lint rule and the
+//! perf ratchet: wall-clock benches show the symptom of an alloc
+//! regression (through machine noise); this test pins the mechanism.
+
+use paradyn_allocguard::{checkpoint, CountingAlloc};
+use paradyn_des::{CalendarKind, Ctx, Model, Sim, SimDur, SimTime};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// 64 free-running timers with deterministic, id-staggered gaps around
+/// 5 µs: keeps the calendar populated and shuffled, cycles every level-0/1
+/// bucket index many times per millisecond, and exercises the same
+/// schedule/pop path as the model workloads.
+struct Timers;
+
+impl Model for Timers {
+    type Event = u32;
+    fn handle(&mut self, ctx: &mut Ctx<u32>, id: u32) {
+        let gap = 2_000 + (id as u64).wrapping_mul(2654435761) % 6_000;
+        ctx.schedule_in(SimDur::from_nanos(gap), id);
+    }
+}
+
+/// Run one backend through warmup and a measured steady-state window;
+/// returns (heap operations in window, events delivered in window).
+fn steady_state(kind: CalendarKind) -> (u64, u64) {
+    const TIMERS: u32 = 64;
+    // Past the first full level-2 wrap (≈16.8 ms) and the first level-3
+    // boundary (also ≈16.8 ms), so both have stable storage.
+    const WARMUP: u64 = 18_000_000;
+    // Window end stays short of the next level-3 crossing at ≈33.6 ms.
+    const END: u64 = 28_000_000;
+
+    let mut sim = Sim::with_calendar(Timers, kind);
+    for id in 0..TIMERS {
+        sim.ctx().schedule_at(SimTime::from_nanos(id as u64), id);
+    }
+    sim.run_until(SimTime::from_nanos(WARMUP));
+    let warm_events = sim.executed_events();
+
+    let mark = checkpoint();
+    sim.run_until(SimTime::from_nanos(END));
+    let traffic = mark.heap_traffic_since();
+
+    (traffic, sim.executed_events() - warm_events)
+}
+
+#[test]
+fn steady_state_is_allocation_free_on_both_backends() {
+    for kind in [CalendarKind::Heap, CalendarKind::Wheel] {
+        let (traffic, events) = steady_state(kind);
+        assert!(
+            events > 100_000,
+            "{kind:?}: window too small to be meaningful ({events} events)"
+        );
+        assert_eq!(
+            traffic, 0,
+            "{kind:?}: {traffic} heap operation(s) across {events} steady-state \
+             events — a delivery-loop buffer is being reallocated per event"
+        );
+    }
+}

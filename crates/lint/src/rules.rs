@@ -53,6 +53,14 @@ pub const RULES: &[(&str, &str)] = &[
          independent draws",
     ),
     (
+        "hot-path-alloc",
+        "Box::new/Vec::new/.clone()/.to_vec() are forbidden in non-test code of \
+         the per-event hot-path files (engine, calendar, daemon, degrade, pipe): \
+         the steady state is budgeted to zero heap allocations per delivered \
+         event (tests/zero_alloc.rs measures it; this rule makes it hold for \
+         all paths, not just the ones the test drives)",
+    ),
+    (
         "hermeticity",
         "use/extern-crate paths must resolve to std or a workspace crate: the \
          build is offline-hermetic and a registry dependency would break it \
@@ -101,6 +109,19 @@ pub const CTRL_STREAM_IDS: std::ops::RangeInclusive<u64> = 14..=15;
 /// Chaos-search stream allocation (DESIGN.md §9): id 16 is reserved for
 /// CHAOS_* scenario derivation, which must never overlap a model stream.
 pub const CHAOS_STREAM_IDS: std::ops::RangeInclusive<u64> = 16..=16;
+
+/// Files on the per-event hot path where steady-state heap allocation is
+/// budgeted to zero (`tests/zero_alloc.rs` measures it with the counting
+/// allocator). Test code is exempt: an allocating test helper cannot
+/// regress the measured path. Construction-time allocation is fine — hoist
+/// it out of the per-event code or justify with `lint:allow`.
+const HOT_PATH_ALLOC_FILES: &[&str] = &[
+    "crates/des/src/engine.rs",
+    "crates/des/src/calendar.rs",
+    "crates/core/src/model/daemon.rs",
+    "crates/core/src/model/degrade.rs",
+    "crates/core/src/pipe.rs",
+];
 
 /// First path segments always permitted in `use` paths.
 const STD_SEGMENTS: &[&str] = &["std", "core", "alloc", "crate", "self", "super"];
@@ -222,6 +243,56 @@ pub fn panic_path(file: &SourceFile) -> Vec<Finding> {
                 ),
             ));
         }
+    }
+    out
+}
+
+/// `hot-path-alloc`: ban the common allocation tokens (`Box::new`,
+/// `Vec::new`, `.clone()`, `.to_vec()`) in non-test code of the enrolled
+/// hot-path files.
+pub fn hot_path_alloc(file: &SourceFile) -> Vec<Finding> {
+    if !HOT_PATH_ALLOC_FILES.contains(&file.rel.as_str()) {
+        return vec![];
+    }
+    let mut out = vec![];
+    for (n, t) in file.sig_tokens() {
+        if t.kind != TokKind::Ident || file.in_test_code(t.start) {
+            continue;
+        }
+        let s = t.text(&file.text);
+        let what = match s {
+            // Method-call position: `.clone(` / `.to_vec(`.
+            "clone" | "to_vec"
+                if n > 0
+                    && file.sig_is_punct(n - 1, b'.')
+                    && file.sig_is_punct(n + 1, b'(') =>
+            {
+                format!(".{s}()")
+            }
+            // Path-call position: `Box::new(` / `Vec::new(`.
+            "new"
+                if n >= 3
+                    && file.sig_is_punct(n - 1, b':')
+                    && file.sig_is_punct(n - 2, b':')
+                    && file.sig_is_punct(n + 1, b'(')
+                    && (file.sig_is_ident(n - 3, "Box") || file.sig_is_ident(n - 3, "Vec")) =>
+            {
+                let head = if file.sig_is_ident(n - 3, "Box") { "Box" } else { "Vec" };
+                format!("{head}::new()")
+            }
+            _ => continue,
+        };
+        out.push(finding(
+            "hot-path-alloc",
+            file,
+            t.line,
+            t.col,
+            format!(
+                "`{what}` on a zero-alloc hot path; reuse a buffer or hoist the \
+                 allocation to construction, or justify with \
+                 lint:allow(hot-path-alloc)"
+            ),
+        ));
     }
     out
 }
@@ -442,6 +513,7 @@ pub fn run_file_rules(
     let mut out = wall_clock(file);
     out.extend(unordered_iteration(file));
     out.extend(panic_path(file));
+    out.extend(hot_path_alloc(file));
     out.extend(rng_stream_literals(file, registry));
     out.extend(hermeticity(file, crate_names));
     out
@@ -491,6 +563,26 @@ mod tests {
         let hits = panic_path(&file("crates/testbed/src/pipes.rs", src));
         assert_eq!(hits.len(), 3, "{hits:?}");
         assert_eq!(panic_path(&file("crates/testbed/src/kernels.rs", src)).len(), 0);
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_enrolled_files_only() {
+        let src = "fn f(v: &Vec<u32>) -> Vec<u32> { let b = Box::new(1); let w = Vec::new(); \
+                   let c = v.clone(); let d = v[..].to_vec(); d }\n\
+                   #[cfg(test)]\nmod tests { fn t(v: &Vec<u32>) -> Vec<u32> { v.clone() } }\n";
+        let hits = hot_path_alloc(&file("crates/des/src/engine.rs", src));
+        assert_eq!(hits.len(), 4, "{hits:?}");
+        assert!(hits[0].message.contains("Box::new()"));
+        assert!(hits[1].message.contains("Vec::new()"));
+        assert!(hits[2].message.contains(".clone()"));
+        assert!(hits[3].message.contains(".to_vec()"));
+        // Unenrolled files and test code are exempt.
+        assert_eq!(hot_path_alloc(&file("crates/des/src/rng.rs", src)).len(), 0);
+        // Similar-but-different tokens never match: a bare `new()`, a
+        // `clone` field, `VecDeque::new`.
+        let ok = "fn f() { let a = Slab::new(); let b = x.clone; let c = \
+                  std::collections::VecDeque::<u32>::new(); }\n";
+        assert_eq!(hot_path_alloc(&file("crates/des/src/engine.rs", ok)).len(), 0);
     }
 
     #[test]

@@ -54,6 +54,112 @@ impl Summary {
     }
 }
 
+/// Streaming moment accumulator (Welford's algorithm).
+///
+/// Single-pass, O(1) state, and branch-free in the update: no comparisons
+/// beyond `f64::min`/`f64::max` (which lower to `minsd`/`maxsd`), so it can
+/// sit on a hot path without polluting the branch predictor. Numerically
+/// stable where the naive sum-of-squares accumulator cancels catastrophically.
+///
+/// Yields the same mean/std-dev/min/max as [`Summary::of`] up to rounding
+/// (the update order differs, so the last ulp may too); use it where the
+/// sample is too large, or arrives too incrementally, to buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// An empty accumulator.
+    pub fn new() -> Moments {
+        Moments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        let d2 = x - self.mean;
+        self.m2 += d * d2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Fold another accumulator in (Chan's parallel update), as if its
+    /// observations had been pushed here.
+    pub fn merge(&mut self, o: &Moments) {
+        if o.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *o;
+            return;
+        }
+        let n = (self.n + o.n) as f64;
+        let d = o.mean - self.mean;
+        self.mean += d * (o.n as f64 / n);
+        self.m2 += o.m2 + d * d * (self.n as f64 * o.n as f64 / n);
+        self.n += o.n;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; 0 for fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Default for Moments {
+    fn default() -> Moments {
+        Moments::new()
+    }
+}
+
 /// Linear-interpolated quantile of an **already sorted** sample,
 /// `q` in `[0, 1]`.
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
@@ -126,5 +232,85 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_sample_panics() {
         Summary::of(&[]);
+    }
+
+    #[test]
+    fn moments_match_two_pass_summary() {
+        // LCG-derived sample: deterministic, spread over a few decades.
+        let mut s = 0x2545f4914f6cdd1du64;
+        let xs: Vec<f64> = (0..4096)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 11) as f64 / (1u64 << 53) as f64 * 1e3 - 250.0
+            })
+            .collect();
+        let two_pass = Summary::of(&xs);
+        let mut m = Moments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        assert_eq!(m.n(), 4096);
+        assert!((m.mean() - two_pass.mean).abs() < 1e-9 * two_pass.mean.abs().max(1.0));
+        assert!((m.std_dev() - two_pass.std_dev).abs() < 1e-9 * two_pass.std_dev);
+        assert_eq!(m.min(), two_pass.min);
+        assert_eq!(m.max(), two_pass.max);
+    }
+
+    #[test]
+    fn moments_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.13).collect();
+        let mut whole = Moments::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (a, b) = xs.split_at(313);
+        let mut left = Moments::new();
+        let mut right = Moments::new();
+        for &x in a {
+            left.push(x);
+        }
+        for &x in b {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.n(), whole.n());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12 * whole.mean().abs());
+        assert!((left.variance() - whole.variance()).abs() < 1e-9 * whole.variance());
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn moments_merge_with_empty_is_identity() {
+        let mut m = Moments::new();
+        m.push(2.0);
+        m.push(4.0);
+        let before = (m.n(), m.mean(), m.variance());
+        m.merge(&Moments::new());
+        assert_eq!((m.n(), m.mean(), m.variance()), before);
+        let mut empty = Moments::new();
+        empty.merge(&m);
+        assert_eq!(empty.n(), 2);
+        assert_eq!(empty.mean(), 3.0);
+    }
+
+    #[test]
+    fn moments_empty_state() {
+        let m = Moments::new();
+        assert_eq!(m.n(), 0);
+        assert!(m.mean().is_nan());
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.min(), f64::INFINITY);
+        assert_eq!(m.max(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn moments_single_observation() {
+        let mut m = Moments::new();
+        m.push(3.5);
+        assert_eq!(m.mean(), 3.5);
+        assert_eq!(m.std_dev(), 0.0);
+        assert_eq!(m.min(), 3.5);
+        assert_eq!(m.max(), 3.5);
     }
 }

@@ -25,13 +25,75 @@ pub fn unit_f64_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     rng.next_f64_open()
 }
 
-/// Standard normal draw (Box–Muller; the second value is discarded so the
-/// variable stays stateless/`Copy`).
+/// Number of ziggurat layers (7-bit index).
+const ZIG_N: usize = 128;
+/// Rightmost layer edge for the 128-layer normal ziggurat.
+const ZIG_R: f64 = 3.442619855899;
+/// Area of each layer (rectangle + base strip including the tail).
+const ZIG_V: f64 = 9.91256303526217e-3;
+
+/// Ziggurat layer tables: `x[i]` are the layer edges (decreasing, with
+/// `x[0] = V/f(R) > R` so the base layer's rectangle-vs-tail split falls out
+/// of the ordinary accept test) and `f[i] = exp(-x[i]²/2)`.
+struct ZigTables {
+    x: [f64; ZIG_N + 1],
+    f: [f64; ZIG_N + 1],
+}
+
+static ZIG: std::sync::LazyLock<ZigTables> = std::sync::LazyLock::new(|| {
+    let pdf = |x: f64| (-0.5 * x * x).exp();
+    let mut x = [0.0f64; ZIG_N + 1];
+    x[0] = ZIG_V / pdf(ZIG_R);
+    x[1] = ZIG_R;
+    for i in 2..ZIG_N {
+        x[i] = (-2.0 * (ZIG_V / x[i - 1] + pdf(x[i - 1])).ln()).sqrt();
+    }
+    x[ZIG_N] = 0.0;
+    let mut f = [0.0f64; ZIG_N + 1];
+    for i in 0..=ZIG_N {
+        f[i] = pdf(x[i]);
+    }
+    ZigTables { x, f }
+});
+
+/// Standard normal draw (Marsaglia–Tsang ziggurat, 128 layers).
+///
+/// Exact — the accept/reject construction samples the true density, it is
+/// not an approximation — and ~4× cheaper than the Box–Muller form it
+/// replaced: the common case is one `next_u64`, one multiply, and one
+/// compare, with no transcendentals. One 64-bit draw supplies the layer
+/// index (7 bits), the sign (1 bit), and a 53-bit uniform. The number of
+/// raw draws per sample is variable (rejection), which is safe here: replay
+/// cursors in the model count *samples*, and snapshots persist raw
+/// generator state, so neither depends on a fixed draws-per-sample ratio.
 #[inline]
 pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let u1 = unit_f64_open(rng);
-    let u2 = unit_f64(rng);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    let t: &ZigTables = &ZIG;
+    loop {
+        let bits = rng.next_u64();
+        let i = (bits & 0x7f) as usize;
+        let sign = if bits & 0x80 == 0 { 1.0 } else { -1.0 };
+        let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = u * t.x[i];
+        if x < t.x[i + 1] {
+            // Fast path: strictly inside the next layer's rectangle.
+            return sign * x;
+        }
+        if i == 0 {
+            // Base layer miss: sample the tail beyond R (Marsaglia 1964).
+            loop {
+                let x = -rng.next_f64_open().ln() / ZIG_R;
+                let y = -rng.next_f64_open().ln();
+                if y + y > x * x {
+                    return sign * (ZIG_R + x);
+                }
+            }
+        }
+        // Wedge: accept proportionally to the density between the layers.
+        if t.f[i + 1] + (t.f[i] - t.f[i + 1]) * unit_f64(rng) < (-0.5 * x * x).exp() {
+            return sign * x;
+        }
+    }
 }
 
 /// A continuous random variable.

@@ -45,18 +45,24 @@ impl Histogram {
     }
 
     /// Record one observation.
+    ///
+    /// Branchless: the under/over/in-range outcomes become 0/1 masks and the
+    /// bin index is computed unconditionally (Rust's saturating `as usize`
+    /// cast maps negative/NaN to 0 and +huge to `usize::MAX`, so the
+    /// clamped index is always a valid slot; the mask zeroes the increment
+    /// for out-of-range observations). `lo < hi` is an invariant, so the
+    /// under and over masks are mutually exclusive.
     pub fn record(&mut self, x: f64) {
         self.total += 1;
-        if x < self.lo {
-            self.underflow += 1;
-        } else if x >= self.hi {
-            self.overflow += 1;
-        } else {
-            let width = (self.hi - self.lo) / self.counts.len() as f64;
-            let idx = ((x - self.lo) / width) as usize;
-            let idx = idx.min(self.counts.len() - 1);
-            self.counts[idx] += 1;
-        }
+        let under = (x < self.lo) as u64;
+        let over = (x >= self.hi) as u64;
+        let in_range = 1 - under - over;
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = ((x - self.lo) / width) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.underflow += under;
+        self.overflow += over;
+        self.counts[idx] += in_range;
     }
 
     /// Number of bins.

@@ -35,7 +35,7 @@ pub mod special;
 
 pub use check::{check, Gen, PropResult};
 pub use ci::{mean_ci, mean_ci_from_moments, MeanCi};
-pub use desc::{quantile, quantile_sorted, Summary};
+pub use desc::{quantile, quantile_sorted, Moments, Summary};
 pub use dist::Rv;
 pub use factorial::{Design2kr, Term, Variation};
 pub use fit::{best_fit, fit_exponential, fit_lognormal, fit_weibull, ks_statistic, Fit};

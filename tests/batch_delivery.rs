@@ -1,0 +1,201 @@
+//! Differential property tests for batched same-timestamp delivery:
+//! `Sim::run_until` drains whole same-instant runs from the calendar front
+//! and dispatches them as a slice, and that must be observationally
+//! bit-identical to one-at-a-time `Sim::step` delivery — same `(time,
+//! event)` trace including tie order, same executed counts, no residue —
+//! on both calendar backends, across random tie-heavy schedules where
+//! handlers cancel events that are already sitting *inside* the drained
+//! batch.
+//!
+//! Runs on the in-tree `paradyn_stats::check` harness. Rerun a reported
+//! failure with `PARADYN_PROP_SEED=<seed> cargo test <property name>`.
+
+use paradyn_des::{CalendarKind, Ctx, EventHandle, Model, Sim, SimDur, SimTime};
+use paradyn_stats::{check, prop_assert, prop_assert_eq};
+
+/// What a plan entry does when its event fires.
+#[derive(Clone)]
+enum Step {
+    /// Cancel the `idx % handles.len()`-th retained handle (often one
+    /// scheduled at the *current* instant — i.e. inside the batch).
+    Cancel { idx: usize },
+    /// Schedule a follow-up event after `delay` ns; `cancellable` chooses
+    /// the handle path (`schedule_in`) vs the fire-and-forget path
+    /// (`post_in`), so batches mix slab-backed and `NO_SLOT` entries.
+    Spawn { delay: u64, cancellable: bool },
+}
+
+/// Scripted model: event `id` executes `plan[id]`. All state that decides
+/// behavior is updated only through handler execution, so any divergence
+/// between delivery strategies shows up as a trace mismatch.
+struct Scripted {
+    plan: Vec<Vec<Step>>,
+    trace: Vec<(u64, u32)>,
+    handles: Vec<EventHandle>,
+    spawned: usize,
+    max_spawns: usize,
+}
+
+impl Model for Scripted {
+    type Event = u32;
+    fn handle(&mut self, ctx: &mut Ctx<u32>, ev: u32) {
+        self.trace.push((ctx.now().as_nanos(), ev));
+        let steps = self.plan[ev as usize].clone();
+        for step in steps {
+            match step {
+                Step::Cancel { idx } => {
+                    if !self.handles.is_empty() {
+                        let h = self.handles[idx % self.handles.len()];
+                        ctx.cancel(h);
+                    }
+                }
+                Step::Spawn { delay, cancellable } => {
+                    if self.spawned >= self.max_spawns {
+                        continue;
+                    }
+                    self.spawned += 1;
+                    let id = ((self.spawned * 7 + 3) % self.plan.len()) as u32;
+                    let d = SimDur::from_nanos(delay);
+                    if cancellable {
+                        let h = ctx.schedule_in(d, id);
+                        self.handles.push(h);
+                    } else {
+                        ctx.post_in(d, id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Tie-heavy delays: mostly zero (same instant as the spawner) or shared
+/// small multiples, plus a few jumps that cross wheel levels.
+fn gen_delay(g: &mut paradyn_stats::Gen) -> u64 {
+    const SCALES: [u64; 5] = [0, 1, 64, 4096, 262_144];
+    g.u64_in(0, 3) * SCALES[g.index(SCALES.len())]
+}
+
+fn gen_plan(g: &mut paradyn_stats::Gen) -> Vec<Vec<Step>> {
+    let n = g.usize_in(2, 24);
+    (0..n)
+        .map(|_| {
+            let steps = g.usize_in(0, 3);
+            (0..steps)
+                .map(|_| match g.u64_in(0, 9) {
+                    // Cancels are frequent so some always land on handles
+                    // whose events share the current instant.
+                    0..=3 => Step::Cancel {
+                        idx: g.usize_in(0, 4096),
+                    },
+                    _ => Step::Spawn {
+                        delay: gen_delay(g),
+                        cancellable: g.u64_in(0, 1) == 0,
+                    },
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Seed events: several ids scheduled at shared instants so the very first
+/// delivery is already a multi-event batch.
+fn gen_seeds(g: &mut paradyn_stats::Gen, plan_len: usize) -> Vec<(u64, u32)> {
+    let n = g.usize_in(1, 16);
+    (0..n)
+        .map(|_| (gen_delay(g), g.usize_in(0, plan_len - 1) as u32))
+        .collect()
+}
+
+fn build(kind: CalendarKind, plan: &[Vec<Step>], seeds: &[(u64, u32)]) -> Sim<Scripted> {
+    let mut sim = Sim::with_calendar(
+        Scripted {
+            plan: plan.to_vec(),
+            trace: vec![],
+            handles: vec![],
+            spawned: 0,
+            max_spawns: 400,
+        },
+        kind,
+    );
+    for &(at, id) in seeds {
+        let h = sim.ctx().schedule_at(SimTime::from_nanos(at), id);
+        sim.model.handles.push(h);
+    }
+    sim
+}
+
+/// Batched `run_until` delivery equals one-at-a-time `step` delivery, bit
+/// for bit, on both backends — including cancellations that land on
+/// same-instant events already drained into the batch.
+#[test]
+fn batched_delivery_matches_one_at_a_time() {
+    check("batched_delivery_matches_one_at_a_time", |g| {
+        let plan = gen_plan(g);
+        let seeds = gen_seeds(g, plan.len());
+        let mut traces = vec![];
+        for kind in [CalendarKind::Wheel, CalendarKind::Heap] {
+            let mut batched = build(kind, &plan, &seeds);
+            batched.run_until(SimTime::MAX);
+            let mut stepped = build(kind, &plan, &seeds);
+            while stepped.step() {}
+            prop_assert_eq!(&batched.model.trace, &stepped.model.trace);
+            prop_assert_eq!(batched.executed_events(), stepped.executed_events());
+            for sim in [&mut batched, &mut stepped] {
+                prop_assert_eq!(sim.ctx().pending_events(), 0);
+                let s = sim.ctx().calendar_stats();
+                prop_assert!(s.cancelled_pending == 0, "cancelled entries left behind");
+                prop_assert!(s.slab_free == s.slab_slots, "leaked slab slots");
+            }
+            traces.push(batched.model.trace);
+        }
+        // And the two backends agree with each other.
+        prop_assert_eq!(&traces[0], &traces[1]);
+        Ok(())
+    });
+}
+
+/// Horizon stops inside tie runs do not change the trace: running the same
+/// schedule in many small slices equals one full-drain run.
+#[test]
+fn batched_delivery_is_horizon_split_invariant() {
+    check("batched_delivery_is_horizon_split_invariant", |g| {
+        let plan = gen_plan(g);
+        let seeds = gen_seeds(g, plan.len());
+        for kind in [CalendarKind::Wheel, CalendarKind::Heap] {
+            let mut whole = build(kind, &plan, &seeds);
+            whole.run_until(SimTime::MAX);
+            let mut sliced = build(kind, &plan, &seeds);
+            let mut horizon = 0u64;
+            while sliced.ctx().pending_events() > 0 {
+                horizon += 1 + g.u64_in(0, 4096);
+                sliced.run_until(SimTime::from_nanos(horizon));
+            }
+            prop_assert_eq!(&whole.model.trace, &sliced.model.trace);
+            prop_assert_eq!(whole.executed_events(), sliced.executed_events());
+        }
+        Ok(())
+    });
+}
+
+/// The canonical in-batch cancellation shape, pinned deterministically:
+/// three events share one instant; the first cancels the third while it is
+/// already drained into the batch. Exactly the first two fire.
+#[test]
+fn cancel_inside_batch_suppresses_successor() {
+    for kind in [CalendarKind::Wheel, CalendarKind::Heap] {
+        // Event 0 cancels handles[2] (event id 2, same instant).
+        let plan = vec![vec![Step::Cancel { idx: 2 }], vec![], vec![]];
+        let t = SimTime::from_nanos(10);
+        let mut sim = build(kind, &plan, &[]);
+        for id in [0u32, 1, 2] {
+            let h = sim.ctx().schedule_at(t, id);
+            sim.model.handles.push(h);
+        }
+        sim.run_until(SimTime::MAX);
+        assert_eq!(sim.model.trace, vec![(10, 0), (10, 1)], "{kind:?}");
+        assert_eq!(sim.ctx().pending_events(), 0);
+        let s = sim.ctx().calendar_stats();
+        assert_eq!(s.cancelled_pending, 0, "{kind:?}: batch left residue");
+        assert_eq!(s.slab_free, s.slab_slots, "{kind:?}: leaked slab slots");
+    }
+}

@@ -17,7 +17,7 @@ fn workspace_manifests() -> Vec<PathBuf> {
         .filter(|p| p.exists())
         .collect();
     entries.sort();
-    assert_eq!(entries.len(), 8, "expected the 8 member crates");
+    assert_eq!(entries.len(), 9, "expected the 9 member crates");
     out.extend(entries);
     out
 }
@@ -89,7 +89,7 @@ fn workspace_dependency_table_is_path_only() {
             );
         }
     }
-    assert_eq!(seen, 8, "expected exactly the 8 member-crate entries");
+    assert_eq!(seen, 9, "expected exactly the 9 member-crate entries");
 }
 
 /// The manifest-level guard above and paradyn-lint's source-level
@@ -115,11 +115,11 @@ fn lint_allowlist_matches_manifest_guard() {
             "member `{name}` missing from the lint's hermeticity allowlist"
         );
     }
-    // 8 members + the root `paradyn-isim` package; nothing else may be
+    // 9 members + the root `paradyn-isim` package; nothing else may be
     // importable at the source level.
     assert_eq!(
         allow.len(),
-        9,
+        10,
         "lint allowlist lists a crate the manifests do not declare: {allow:?}"
     );
 }

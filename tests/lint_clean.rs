@@ -148,6 +148,17 @@ fn seeded_violations_are_caught() {
             "crates/core/src/lib.rs",
             "use serde::Serialize;\npub fn f() {}",
         ),
+        (
+            // Per-event allocation seeded into an enrolled hot-path file.
+            "hot-path-alloc",
+            "crates/des/src/engine.rs",
+            "pub fn deliver(evs: &[u32]) -> Vec<u32> { evs.to_vec() }",
+        ),
+        (
+            "hot-path-alloc",
+            "crates/core/src/pipe.rs",
+            "pub fn push(b: &mut Vec<Vec<u8>>, s: &Vec<u8>) { b.push(s.clone()) }",
+        ),
     ];
     for (rule, rel, src) in cases {
         let findings = lint_source(rel, src, &crates);
@@ -176,6 +187,11 @@ fn rules_respect_their_scopes() {
         (
             "crates/workload/src/lib.rs",
             "pub fn pop(v: &mut Vec<u32>) -> u32 { v.pop().unwrap() }",
+        ),
+        (
+            // Allocation tokens outside the enrolled hot-path files are fine.
+            "crates/core/src/model/app.rs",
+            "pub fn copy(v: &[u32]) -> Vec<u32> { v.to_vec() }",
         ),
     ];
     for (rel, src) in ok {
