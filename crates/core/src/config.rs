@@ -493,6 +493,12 @@ impl SimConfig {
                 );
             }
         }
+        if self.total_pds() > (1 << 20) {
+            return Err("daemon count exceeds the token namespace (2^20)".into());
+        }
+        if self.params.min_forward_us <= 0.0 {
+            return Err("min_forward_us must be positive".into());
+        }
         if let Some(o) = &self.overload {
             if o.at_s < 0.0 {
                 return Err("overload ramp time must be non-negative".into());

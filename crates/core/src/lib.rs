@@ -36,6 +36,7 @@ pub mod experiment;
 pub mod metrics;
 pub mod model;
 pub mod pipe;
+pub mod shard;
 pub mod validate;
 
 pub use config::{
@@ -50,4 +51,8 @@ pub use metrics::SimMetrics;
 pub use model::snapshot::{fork_n, warm_snapshot};
 pub use model::{build, build_with_calendar, RoccModel};
 pub use pipe::{Deposit, OverflowPolicy, Pipe};
+pub use shard::{
+    exec_cell, lookahead_ns, partition, run_sharded, run_sharded_with_lookahead, shardable,
+    smoke_seed,
+};
 pub use validate::{validate, validation_config, ValidationResult, TABLE3};

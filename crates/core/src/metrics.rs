@@ -135,13 +135,14 @@ impl SimMetrics {
     /// Build from a finished model.
     pub(crate) fn from_model(m: &RoccModel, horizon: SimDur, events: u64) -> SimMetrics {
         let dur = horizon.as_secs_f64();
+        let acc = m.acc_total();
         let nodes = m.cfg.nodes;
         let n = nodes as f64;
         let mut cpu = [0.0; 5];
         let mut net = [0.0; 5];
         for i in 0..5 {
-            cpu[i] = m.acc.cpu_busy_us[i] * 1e-6;
-            net[i] = m.acc.net_busy_us[i] * 1e-6;
+            cpu[i] = acc.cpu_busy_us[i] * 1e-6;
+            net[i] = acc.net_busy_us[i] * 1e-6;
         }
         let pd = cpu[class_idx(ProcessClass::ParadynDaemon)];
         let main = cpu[class_idx(ProcessClass::MainParadyn)];
@@ -159,7 +160,7 @@ impl SimMetrics {
         } else {
             net_total / (n * dur)
         };
-        let received = m.acc.received_samples;
+        let received = acc.received_samples;
         let (fw_batches, fw_samples) = m.total_forwarded();
         // Runs start at time zero, so the horizon is also the end instant.
         let end = SimTime::ZERO + horizon;
@@ -172,7 +173,7 @@ impl SimMetrics {
             .sum();
         let lost_overflow = m.total_overflow_lost();
         let samples_lost =
-            lost_overflow + m.acc.lost_blocked + m.acc.lost_crash + m.acc.lost_link;
+            lost_overflow + acc.lost_blocked + acc.lost_crash + acc.lost_link;
         let crashes = m.total_crashes();
         let downtime_s = m.total_downtime_at(end).as_secs_f64();
         SimMetrics {
@@ -186,18 +187,18 @@ impl SimMetrics {
             is_cpu_util_per_node: (pd + main) / (n * dur),
             app_cpu_util_per_node: app / (n * dur),
             latency_mean_s: if received > 0 {
-                m.acc.latency_sum_s / received as f64
+                acc.latency_sum_s / received as f64
             } else {
                 f64::NAN
             },
-            fwd_latency_mean_s: if m.acc.received_msgs > 0 {
-                m.acc.fwd_latency_sum_s / m.acc.received_msgs as f64
+            fwd_latency_mean_s: if acc.received_msgs > 0 {
+                acc.fwd_latency_sum_s / acc.received_msgs as f64
             } else {
                 f64::NAN
             },
             received_samples: received,
-            received_msgs: m.acc.received_msgs,
-            generated_samples: m.acc.generated_samples,
+            received_msgs: acc.received_msgs,
+            generated_samples: acc.generated_samples,
             throughput_per_s: if dur > 0.0 {
                 received as f64 / dur
             } else {
@@ -205,24 +206,24 @@ impl SimMetrics {
             },
             net_util,
             blocked_deposits: m.total_blocked_deposits(),
-            barrier_ops: m.acc.barrier_ops,
+            barrier_ops: acc.barrier_ops,
             forwarded_batches: fw_batches,
             forwarded_samples: fw_samples,
             mean_daemon_batch: m.mean_daemon_batch(),
             batch_adjustments: m.total_batch_adjustments(),
-            emitted_samples: m.acc.emitted_samples,
+            emitted_samples: acc.emitted_samples,
             samples_lost,
             lost_overflow,
-            lost_while_blocked: m.acc.lost_blocked,
-            lost_daemon_crash: m.acc.lost_crash,
-            lost_link: m.acc.lost_link,
-            shed_samples: m.acc.shed_by_tier.iter().sum(),
-            shed_by_tier: m.acc.shed_by_tier,
-            throttle_events: m.acc.throttle_events,
-            backpressure_events: m.acc.backpressure_events,
+            lost_while_blocked: acc.lost_blocked,
+            lost_daemon_crash: acc.lost_crash,
+            lost_link: acc.lost_link,
+            shed_samples: acc.shed_by_tier.iter().sum(),
+            shed_by_tier: acc.shed_by_tier,
+            throttle_events: acc.throttle_events,
+            backpressure_events: acc.backpressure_events,
             samples_in_flight: m.samples_in_flight(),
             rejected_deposits: m.total_rejected_deposits(),
-            writer_block_time_s: (m.acc.writer_block_us + open_block_us) * 1e-6,
+            writer_block_time_s: (acc.writer_block_us + open_block_us) * 1e-6,
             daemon_crashes: crashes,
             daemon_downtime_s: downtime_s,
             forward_retries: m.total_retries(),
@@ -231,7 +232,7 @@ impl SimMetrics {
             } else {
                 f64::NAN
             },
-            consumer_stall_time_s: m.acc.stall_injected_us * 1e-6,
+            consumer_stall_time_s: acc.stall_injected_us * 1e-6,
             events,
         }
     }

@@ -60,7 +60,7 @@ impl RoccModel {
             .other
             .net_req
             .sample(&mut self.other_rngs[node as usize]);
-        self.submit_net(ctx, NetJob::OtherNet, demand);
+        self.submit_net(ctx, NetJob::OtherNet { node }, demand);
         let gap = self.draw_interarrival(node, BgKind::OtherNet);
         ctx.post_in(gap, Ev::OtherNetArrival { node });
     }

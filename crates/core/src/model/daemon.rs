@@ -54,7 +54,7 @@ impl RoccModel {
         let demand = p.pd.cpu_req.sample(&mut d.cpu_rng)
             + p.pd_cpu_per_extra_sample_us * (count as f64 - 1.0);
         let node = d.node;
-        let token = self.alloc_token(Batch {
+        let token = self.alloc_token(pd, Batch {
             count,
             sum_gen_ns,
             ready_ns: ctx.now().as_nanos(),
@@ -177,7 +177,7 @@ impl RoccModel {
             // not stuck.
             self.daemons.hot[pd as usize].doomed = false;
             let batch = self.tokens.remove(token).expect("collect token live");
-            self.acc.lost_crash += batch.count as u64;
+            self.accs[self.cell].lost_crash += batch.count as u64;
             self.daemons.cold[pd as usize]
                 .fault_mon
                 .add_lost(batch.count as u64);
@@ -223,7 +223,7 @@ impl RoccModel {
                 };
                 if attempts > link.max_retries {
                     let batch = self.tokens.remove(token).expect("forward token live");
-                    self.acc.lost_link += batch.count as u64;
+                    self.accs[self.cell].lost_link += batch.count as u64;
                     self.daemons.cold[pd as usize]
                         .fault_mon
                         .add_lost(batch.count as u64);
@@ -272,7 +272,7 @@ impl RoccModel {
             std::mem::take(&mut self.daemons.fifo[pd as usize])
         };
         let n = entries.len() as u64;
-        self.acc.lost_crash += n;
+        self.accs[self.cell].lost_crash += n;
         self.daemons.cold[pd as usize].fault_mon.add_lost(n);
         for (_gen, app) in entries {
             self.drain_one(ctx, app);
@@ -323,10 +323,10 @@ impl RoccModel {
     pub(crate) fn drain_one(&mut self, ctx: &mut Ctx<Ev>, app: u32) {
         let pd = self.apps.hot[app as usize].pd;
         if let Some(gen) = self.apps.pipe[app as usize].drain() {
-            self.acc.generated_samples += 1;
+            self.accs[self.cell].generated_samples += 1;
             let c = &mut self.apps.cold[app as usize];
             if let Some(since) = c.blocked_since.take() {
-                self.acc.writer_block_us += (ctx.now() - since).as_micros_f64();
+                self.accs[self.cell].writer_block_us += (ctx.now() - since).as_micros_f64();
             }
             let resume = c.paused.take();
             let restart_timer = !c.sampling_active;

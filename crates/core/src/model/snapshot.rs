@@ -284,7 +284,10 @@ impl PersistState for RoccModel {
         self.other_rngs.save(w);
         self.stall_rng.save(w);
         w.put_bool(self.overload_on);
-        self.acc.save(w);
+        w.put_usize(self.accs.len());
+        for acc in &self.accs {
+            acc.save(w);
+        }
     }
 
     fn load_state(&mut self, r: &mut Dec<'_>) -> Result<(), SnapError> {
@@ -309,7 +312,10 @@ impl PersistState for RoccModel {
         if daemons.len() != self.daemons.len() {
             return Err(SnapError::Malformed("daemon count differs from config"));
         }
-        let tokens = Persist::load(r)?;
+        let tokens: super::types::TokenTable = Persist::load(r)?;
+        if tokens.pds() != self.tokens.pds() {
+            return Err(SnapError::Malformed("token table shape differs from config"));
+        }
         let barrier_waiting: Vec<u32> = Persist::load(r)?;
         if barrier_waiting.len() > apps.len()
             || barrier_waiting.iter().any(|&a| a as usize >= apps.len())
@@ -327,7 +333,14 @@ impl PersistState for RoccModel {
         }
         let stall_rng: StreamRng = Persist::load(r)?;
         let overload_on = r.take_bool()?;
-        let acc: Acc = Persist::load(r)?;
+        let n_accs = r.take_usize()?;
+        if n_accs != self.accs.len() {
+            return Err(SnapError::Malformed("accumulator count differs from config"));
+        }
+        let mut accs = Vec::with_capacity(n_accs);
+        for _ in 0..n_accs {
+            accs.push(Acc::load(r)?);
+        }
         self.banks = banks;
         self.shared_net = shared_net;
         self.apps = apps;
@@ -339,7 +352,7 @@ impl PersistState for RoccModel {
         self.other_rngs = other_rngs;
         self.stall_rng = stall_rng;
         self.overload_on = overload_on;
-        self.acc = acc;
+        self.accs = accs;
         Ok(())
     }
 }

@@ -9,68 +9,116 @@ pub type AppId = u32;
 /// Daemon index.
 pub type PdId = u32;
 
-/// Token identifying an in-flight batch of samples: a dense index into the
-/// model's [`TokenSlab`], recycled when the batch is consumed or dropped.
+/// Token identifying an in-flight batch of samples. Shard-stable encoding:
+/// the high bits name the allocating daemon, the low [`TOKEN_CTR_BITS`]
+/// bits are that daemon's private wrapping counter — so a token value is a
+/// pure function of the allocator's own history, identical whether the run
+/// is serial or sharded (DESIGN.md §11).
 pub type Token = u32;
 
-/// Dense arena of in-flight batches, replacing the per-event `HashMap`
-/// lookups on the hot path with direct `Vec` indexing. Freed tokens are
-/// recycled LIFO, so the slab's size is bounded by the peak number of
-/// concurrently in-flight batches (a small multiple of the daemon count)
-/// and allocation stops once the simulation reaches steady state.
+/// Low bits of a [`Token`] carrying the allocator's wrapping counter.
+pub const TOKEN_CTR_BITS: u32 = 12;
+
+/// Mask of the counter bits of a [`Token`].
+pub const TOKEN_CTR_MASK: u32 = (1 << TOKEN_CTR_BITS) - 1;
+
+/// Wrap-aware "allocated before" order on 12-bit token counters; a strict
+/// total order as long as the live window spans less than half the
+/// counter space (live batches per daemon are a handful).
+#[inline]
+fn ctr_before(a: u16, b: u16) -> bool {
+    let d = b.wrapping_sub(a) & TOKEN_CTR_MASK as u16;
+    d != 0 && d < (1 << (TOKEN_CTR_BITS - 1))
+}
+
+/// Arena of in-flight batches keyed by `(allocating daemon, counter)`,
+/// replacing per-event `HashMap` lookups with short per-daemon vectors.
+/// Each daemon's vector holds its live batches in allocation order (a few
+/// at a time), so lookups are tiny scans and iteration order — daemon
+/// index major, allocation order minor — is deterministic and independent
+/// of how shards interleave.
 #[derive(Default)]
-pub struct TokenSlab {
-    slots: Vec<Option<Batch>>,
-    free: Vec<Token>,
+pub struct TokenTable {
+    /// Live batches per allocating daemon, in wrap-aware counter order.
+    slots: Vec<Vec<(u16, Batch)>>,
+    /// Next counter per daemon (wrapping 12-bit).
+    ctrs: Vec<u16>,
     live: usize,
 }
 
-impl TokenSlab {
-    /// Pre-size for an expected number of concurrent batches.
-    pub fn with_capacity(cap: usize) -> TokenSlab {
-        TokenSlab {
-            slots: Vec::with_capacity(cap),
-            free: Vec::with_capacity(cap),
+impl TokenTable {
+    /// One table slot per daemon, pre-sized for the steady-state handful
+    /// of concurrently live batches each daemon keeps in flight.
+    pub fn with_pds(pds: usize) -> TokenTable {
+        TokenTable {
+            slots: (0..pds).map(|_| Vec::with_capacity(8)).collect(),
+            ctrs: vec![0; pds],
             live: 0,
         }
     }
 
-    /// Store a batch, returning its token.
-    pub fn insert(&mut self, batch: Batch) -> Token {
+    /// Number of daemon slots (fixed by the configuration).
+    pub fn pds(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Store a batch allocated by daemon `pd`, returning its token.
+    pub fn insert(&mut self, pd: PdId, batch: Batch) -> Token {
+        let ctr = self.ctrs[pd as usize];
+        self.ctrs[pd as usize] = ctr.wrapping_add(1) & TOKEN_CTR_MASK as u16;
+        debug_assert!(
+            !self.slots[pd as usize].iter().any(|&(c, _)| c == ctr),
+            "token counter wrapped onto a live batch"
+        );
+        self.slots[pd as usize].push((ctr, batch));
         self.live += 1;
-        match self.free.pop() {
-            Some(t) => {
-                debug_assert!(self.slots[t as usize].is_none());
-                self.slots[t as usize] = Some(batch);
-                t
-            }
-            None => {
-                self.slots.push(Some(batch));
-                (self.slots.len() - 1) as Token
-            }
-        }
+        ((pd as u32) << TOKEN_CTR_BITS) | ctr as u32
+    }
+
+    /// Re-insert a batch under a token allocated elsewhere (a cross-shard
+    /// arrival), preserving the per-daemon allocation order.
+    pub fn insert_at(&mut self, t: Token, batch: Batch) {
+        let pd = (t >> TOKEN_CTR_BITS) as usize;
+        let ctr = (t & TOKEN_CTR_MASK) as u16;
+        let v = &mut self.slots[pd];
+        debug_assert!(!v.iter().any(|&(c, _)| c == ctr), "token re-inserted while live");
+        let pos = v
+            .iter()
+            .position(|&(c, _)| ctr_before(ctr, c))
+            .unwrap_or(v.len());
+        v.insert(pos, (ctr, batch));
+        self.live += 1;
     }
 
     /// Shared access to a live batch (`None` if the token was consumed).
     #[inline]
     pub fn get(&self, t: Token) -> Option<&Batch> {
-        self.slots.get(t as usize).and_then(Option::as_ref)
+        let ctr = (t & TOKEN_CTR_MASK) as u16;
+        self.slots
+            .get((t >> TOKEN_CTR_BITS) as usize)?
+            .iter()
+            .find(|&&(c, _)| c == ctr)
+            .map(|(_, b)| b)
     }
 
     /// Mutable access to a live batch.
     #[inline]
     pub fn get_mut(&mut self, t: Token) -> Option<&mut Batch> {
-        self.slots.get_mut(t as usize).and_then(Option::as_mut)
+        let ctr = (t & TOKEN_CTR_MASK) as u16;
+        self.slots
+            .get_mut((t >> TOKEN_CTR_BITS) as usize)?
+            .iter_mut()
+            .find(|&&mut (c, _)| c == ctr)
+            .map(|(_, b)| b)
     }
 
-    /// Remove and return a live batch, recycling its token.
+    /// Remove and return a live batch.
     pub fn remove(&mut self, t: Token) -> Option<Batch> {
-        let b = self.slots.get_mut(t as usize).and_then(Option::take);
-        if b.is_some() {
-            self.live -= 1;
-            self.free.push(t);
-        }
-        b
+        let ctr = (t & TOKEN_CTR_MASK) as u16;
+        let v = self.slots.get_mut((t >> TOKEN_CTR_BITS) as usize)?;
+        let pos = v.iter().position(|&(c, _)| c == ctr)?;
+        self.live -= 1;
+        Some(v.remove(pos).1)
     }
 
     /// Number of live batches.
@@ -85,9 +133,43 @@ impl TokenSlab {
         self.live == 0
     }
 
-    /// Iterate over live batches (slab order, deterministic).
+    /// Iterate over live batches (daemon-major, allocation order —
+    /// deterministic and shard-independent).
     pub fn values(&self) -> impl Iterator<Item = &Batch> {
-        self.slots.iter().filter_map(Option::as_ref)
+        self.slots.iter().flat_map(|v| v.iter().map(|(_, b)| b))
+    }
+
+    /// Combine per-shard tables back into the serial table: each daemon's
+    /// next counter comes from the daemon's owning shard (the only place
+    /// it allocates), and the live batches — scattered across whichever
+    /// shards currently hold them — are unioned back into allocation
+    /// order.
+    pub fn absorb(tables: Vec<TokenTable>, owner_of_pd: impl Fn(usize) -> usize) -> TokenTable {
+        let pds = tables.first().map_or(0, TokenTable::pds);
+        let mut out = TokenTable::with_pds(pds);
+        for pd in 0..pds {
+            out.ctrs[pd] = tables[owner_of_pd(pd)].ctrs[pd];
+        }
+        for mut t in tables {
+            debug_assert_eq!(t.pds(), pds);
+            out.live += t.live;
+            for (pd, v) in t.slots.iter_mut().enumerate() {
+                out.slots[pd].append(v);
+            }
+        }
+        for v in &mut out.slots {
+            v.sort_unstable_by(|&(a, _), &(b, _)| {
+                if a == b {
+                    std::cmp::Ordering::Equal
+                } else if ctr_before(a, b) {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                }
+            });
+            debug_assert!(v.windows(2).all(|p| p[0].0 != p[1].0), "duplicate live token");
+        }
+        out
     }
 }
 
@@ -162,9 +244,15 @@ pub enum NetJob {
         dest: Dest,
     },
     /// PVM daemon network activity.
-    PvmdNet,
+    PvmdNet {
+        /// Node of the PVM daemon instance.
+        node: u32,
+    },
     /// Other-process network activity.
-    OtherNet,
+    OtherNet {
+        /// Node of the other-process source.
+        node: u32,
+    },
 }
 
 impl NetJob {
@@ -173,8 +261,8 @@ impl NetJob {
         match self {
             NetJob::AppComm { .. } => ProcessClass::Application,
             NetJob::Forward { .. } => ProcessClass::ParadynDaemon,
-            NetJob::PvmdNet => ProcessClass::PvmDaemon,
-            NetJob::OtherNet => ProcessClass::Other,
+            NetJob::PvmdNet { .. } => ProcessClass::PvmDaemon,
+            NetJob::OtherNet { .. } => ProcessClass::Other,
         }
     }
 }
@@ -370,29 +458,54 @@ impl Persist for Batch {
     }
 }
 
-impl Persist for TokenSlab {
+impl Persist for TokenTable {
     fn save(&self, w: &mut Enc) {
-        self.slots.save(w);
-        self.free.save(w);
-    }
-    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
-        let slots: Vec<Option<Batch>> = Persist::load(r)?;
-        let free: Vec<Token> = Persist::load(r)?;
-        // Every vacant slot must appear on the free list exactly once, so
-        // token recycling (LIFO order is part of the serialized free list)
-        // behaves identically after a restore.
-        let live = slots.iter().filter(|s| s.is_some()).count();
-        if live + free.len() != slots.len() {
-            return Err(SnapError::Malformed("token slab free-list size"));
-        }
-        let mut seen = vec![false; slots.len()];
-        for &t in &free {
-            match slots.get(t as usize) {
-                Some(None) if !seen[t as usize] => seen[t as usize] = true,
-                _ => return Err(SnapError::Malformed("token slab free-list entry")),
+        w.put_u32(self.slots.len() as u32);
+        for v in &self.slots {
+            w.put_u32(v.len() as u32);
+            for (c, b) in v {
+                w.put_u32(*c as u32);
+                b.save(w);
             }
         }
-        Ok(TokenSlab { slots, free, live })
+        for &c in &self.ctrs {
+            w.put_u32(c as u32);
+        }
+    }
+    fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let pds = r.take_u32()? as usize;
+        let mut slots = Vec::with_capacity(pds);
+        let mut live = 0usize;
+        for _ in 0..pds {
+            let n = r.take_u32()? as usize;
+            let mut v: Vec<(u16, Batch)> = Vec::with_capacity(n.max(8));
+            for _ in 0..n {
+                let c = r.take_u32()?;
+                if c > TOKEN_CTR_MASK {
+                    return Err(SnapError::Malformed("token counter out of range"));
+                }
+                v.push((c as u16, Persist::load(r)?));
+            }
+            // Allocation order (wrap-aware, strictly increasing) is part of
+            // the format: iteration order feeds deterministic drains.
+            if !v
+                .windows(2)
+                .all(|p| ctr_before(p[0].0, p[1].0))
+            {
+                return Err(SnapError::Malformed("token table slot order"));
+            }
+            live += v.len();
+            slots.push(v);
+        }
+        let mut ctrs = Vec::with_capacity(pds);
+        for _ in 0..pds {
+            let c = r.take_u32()?;
+            if c > TOKEN_CTR_MASK {
+                return Err(SnapError::Malformed("token table counter"));
+            }
+            ctrs.push(c as u16);
+        }
+        Ok(TokenTable { slots, ctrs, live })
     }
 }
 
@@ -487,8 +600,14 @@ impl Persist for NetJob {
                 w.put_u32(token);
                 dest.save(w);
             }
-            NetJob::PvmdNet => w.put_u8(2),
-            NetJob::OtherNet => w.put_u8(3),
+            NetJob::PvmdNet { node } => {
+                w.put_u8(2);
+                w.put_u32(node);
+            }
+            NetJob::OtherNet { node } => {
+                w.put_u8(3);
+                w.put_u32(node);
+            }
         }
     }
     fn load(r: &mut Dec<'_>) -> Result<Self, SnapError> {
@@ -498,8 +617,8 @@ impl Persist for NetJob {
                 token: r.take_u32()?,
                 dest: Persist::load(r)?,
             },
-            2 => NetJob::PvmdNet,
-            3 => NetJob::OtherNet,
+            2 => NetJob::PvmdNet { node: r.take_u32()? },
+            3 => NetJob::OtherNet { node: r.take_u32()? },
             _ => return Err(SnapError::Malformed("NetJob tag")),
         })
     }
@@ -627,25 +746,66 @@ mod tests {
     }
 
     #[test]
-    fn token_slab_recycles_and_stays_dense() {
-        let mut slab = TokenSlab::with_capacity(2);
-        let a = slab.insert(batch(1));
-        let b = slab.insert(batch(2));
-        assert_eq!(slab.len(), 2);
-        assert_eq!(slab.get(a).unwrap().count, 1);
-        assert_eq!(slab.remove(a).unwrap().count, 1);
-        assert!(slab.remove(a).is_none(), "double remove is a no-op");
-        // The freed token is reused; the slab does not grow.
-        let c = slab.insert(batch(3));
-        assert_eq!(c, a);
-        slab.get_mut(b).unwrap().attempts = 7;
-        assert_eq!(slab.get(b).unwrap().attempts, 7);
-        let counts: Vec<u32> = slab.values().map(|x| x.count).collect();
-        assert_eq!(counts, vec![3, 2]);
-        assert!(!slab.is_empty());
-        slab.remove(b);
-        slab.remove(c);
-        assert!(slab.is_empty());
+    fn token_table_is_shard_stable_and_ordered() {
+        let mut tab = TokenTable::with_pds(3);
+        let a = tab.insert(1, batch(1));
+        let b = tab.insert(1, batch(2));
+        let c = tab.insert(0, batch(3));
+        // Tokens are a pure function of (pd, per-pd allocation count).
+        assert_eq!(a, (1 << TOKEN_CTR_BITS) | 0);
+        assert_eq!(b, (1 << TOKEN_CTR_BITS) | 1);
+        assert_eq!(c, 0);
+        assert_eq!(tab.len(), 3);
+        assert_eq!(tab.get(a).unwrap().count, 1);
+        assert_eq!(tab.remove(a).unwrap().count, 1);
+        assert!(tab.remove(a).is_none(), "double remove is a no-op");
+        // Removing a batch does not perturb later token values.
+        let d = tab.insert(1, batch(4));
+        assert_eq!(d, (1 << TOKEN_CTR_BITS) | 2);
+        tab.get_mut(b).unwrap().attempts = 7;
+        assert_eq!(tab.get(b).unwrap().attempts, 7);
+        // Iteration is pd-major, allocation order minor.
+        let counts: Vec<u32> = tab.values().map(|x| x.count).collect();
+        assert_eq!(counts, vec![3, 2, 4]);
+        assert!(!tab.is_empty());
+        tab.remove(b);
+        tab.remove(c);
+        tab.remove(d);
+        assert!(tab.is_empty());
+    }
+
+    #[test]
+    fn token_table_absorb_reunites_shards() {
+        // Serial reference: pd 0 allocates three, consumes the middle one.
+        let mut serial = TokenTable::with_pds(2);
+        let s0 = serial.insert(0, batch(10));
+        let s1 = serial.insert(0, batch(11));
+        let s2 = serial.insert(0, batch(12));
+        serial.remove(s1);
+        let _ = serial.insert(1, batch(20));
+
+        // Sharded: pd 0 owned by shard 0 allocates the same sequence, but
+        // batch s2 is currently in flight on shard 1 (a cross-shard hop).
+        let mut sh0 = TokenTable::with_pds(2);
+        let t0 = sh0.insert(0, batch(10));
+        let t1 = sh0.insert(0, batch(11));
+        let t2 = sh0.insert(0, batch(12));
+        sh0.remove(t1);
+        let moved = sh0.remove(t2).unwrap();
+        let mut sh1 = TokenTable::with_pds(2);
+        sh1.insert_at(t2, moved);
+        let _ = sh1.insert(1, batch(20));
+
+        assert_eq!((t0, t2), (s0, s2));
+        let merged = TokenTable::absorb(vec![sh0, sh1], |pd| pd); // pd 0 → shard 0, pd 1 → shard 1
+        assert_eq!(merged.len(), serial.len());
+        let mc: Vec<u32> = merged.values().map(|x| x.count).collect();
+        let sc: Vec<u32> = serial.values().map(|x| x.count).collect();
+        assert_eq!(mc, sc);
+        // Next allocation matches the serial table's.
+        let mut merged = merged;
+        let mut serial = serial;
+        assert_eq!(merged.insert(0, batch(30)), serial.insert(0, batch(30)));
     }
 
     #[test]
@@ -697,7 +857,10 @@ mod tests {
             .class(),
             ProcessClass::ParadynDaemon
         );
-        assert_eq!(NetJob::PvmdNet.class(), ProcessClass::PvmDaemon);
-        assert_eq!(NetJob::OtherNet.class(), ProcessClass::Other);
+        assert_eq!(
+            NetJob::PvmdNet { node: 0 }.class(),
+            ProcessClass::PvmDaemon
+        );
+        assert_eq!(NetJob::OtherNet { node: 0 }.class(), ProcessClass::Other);
     }
 }

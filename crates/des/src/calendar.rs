@@ -759,6 +759,38 @@ impl<E> Wheel<E> {
         }
     }
 
+    /// Read-only lower bound on the earliest live entry's time (see
+    /// [`Calendar::next_lower_bound`]): min over the first live staged
+    /// entry and each level's first occupied bucket — a single-entry
+    /// bucket contributes its entry's exact time, a multi-entry bucket its
+    /// base time. Within a level the first occupied bucket's range ends at
+    /// or before every later bucket's base, so one bucket per level
+    /// suffices; cancelled leftovers can only lower the bound (safe).
+    fn next_lower_bound(&self, slab: &Slab) -> u64 {
+        let mut lb = u64::MAX;
+        for e in &self.due {
+            if !slab.is_cancelled(e.slot) {
+                lb = e.at;
+                break;
+            }
+        }
+        let mut levels = self.level_summary;
+        while levels != 0 {
+            let level = levels.trailing_zeros() as usize;
+            levels &= levels - 1;
+            if let Some(i) = self.first_occupied(level) {
+                let b = &self.buckets[level * SLOTS + i];
+                let cand = if b.len() == 1 {
+                    b[0].at
+                } else {
+                    self.bucket_base(level, i) << RES_BITS
+                };
+                lb = lb.min(cand);
+            }
+        }
+        lb
+    }
+
     fn occupied_buckets(&self) -> usize {
         self.occupied
             .iter()
@@ -900,6 +932,29 @@ impl<E> Calendar<E> {
             return Some((SimTime::from_nanos(at), ev));
         }
         None
+    }
+
+    /// A **lower bound** on the time of the earliest live event, computed
+    /// read-only in O(levels) — the shard driver's per-window "local next"
+    /// query (DESIGN.md §11). Never larger than the true minimum;
+    /// `u64::MAX` when no live event is pending.
+    ///
+    /// For the heap it is the root's time (exact up to lazily-deleted
+    /// cancelled entries, which only make it smaller). For the wheel it is
+    /// the minimum over the staged front and, per occupied level, the
+    /// first occupied bucket's *base time* — or its entry's exact time for
+    /// a single-entry bucket. A loose (wide-bucket) bound tightens as the
+    /// driver's bounded `run_until` probes cascade the bucket; the driver
+    /// falls back to the exact O(live) [`Calendar::peek_min`] if a bound
+    /// ever stalls without progress.
+    pub(crate) fn next_lower_bound(&self) -> u64 {
+        if self.live == 0 {
+            return u64::MAX;
+        }
+        match &self.backend {
+            Backend::Wheel(w) => w.next_lower_bound(&self.slab),
+            Backend::Heap(h) => h.heap.peek().map_or(u64::MAX, |r| r.0.at),
+        }
     }
 
     /// Move every front entry with time exactly `at` out of storage and

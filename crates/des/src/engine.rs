@@ -10,8 +10,76 @@
 use crate::calendar::{Calendar, CalendarKind, CalendarStats};
 use crate::snapshot::{self, Dec, Enc, Persist, PersistState, SnapError};
 use crate::time::{SimDur, SimTime};
+use std::sync::Arc;
 
 pub use crate::calendar::EventHandle;
+
+/// Bit position of the scheduling-cell label inside a sequence number:
+/// `seq = (cell << CELL_SHIFT) | per-cell counter`. Comparing packed
+/// sequence numbers as plain `u64`s is lexicographic in `(cell, counter)`,
+/// so the calendar's `(time, seq)` order needs no changes to be
+/// shard-stable (see DESIGN.md §11). 2^40 events per cell and 2^24 cells
+/// are far beyond any configured workload.
+pub const CELL_SHIFT: u32 = 40;
+
+/// Mask of the per-cell counter bits of a packed sequence number.
+pub const CELL_SEQ_MASK: u64 = (1u64 << CELL_SHIFT) - 1;
+
+/// Shard-stable sequence allocation: one monotone counter per scheduling
+/// cell, packed as `(cell << CELL_SHIFT) | counter`.
+///
+/// The default ("global") mode is a single cell with `cur` pinned to 0, so
+/// `seq == counter` — bit-identical to the historical global counter with
+/// no extra branch on the hot path (the pack is a shift/or against a
+/// constant-zero register). [`Ctx::enable_cells`] switches a fresh context
+/// to per-cell counters; the allocation then depends only on the scheduling
+/// cell's own history, never on how cells interleave — which is what makes
+/// a sharded run's sequence numbers identical to the serial run's.
+struct SeqAlloc {
+    cur: u32,
+    counters: Vec<u64>,
+}
+
+impl SeqAlloc {
+    fn new() -> Self {
+        SeqAlloc {
+            cur: 0,
+            counters: vec![0],
+        }
+    }
+
+    #[inline(always)]
+    fn alloc(&mut self) -> u64 {
+        let c = &mut self.counters[self.cur as usize];
+        let seq = ((self.cur as u64) << CELL_SHIFT) | *c;
+        debug_assert!(*c < CELL_SEQ_MASK, "per-cell sequence counter overflow");
+        *c += 1;
+        seq
+    }
+
+    /// Total allocations across all cells (equals `scheduled`).
+    fn total(&self) -> u64 {
+        self.counters.iter().sum()
+    }
+}
+
+/// Cross-shard routing state attached to a [`Ctx`] by the sharded driver
+/// (absent — and cost-free beyond one predictable branch — in serial
+/// runs). Events whose execution cell is owned by another shard are
+/// diverted to `outbox` instead of the local calendar; the driver flushes
+/// the outbox to the owning shard at window boundaries (see
+/// [`crate::shard`]).
+pub(crate) struct Router<E> {
+    /// Owning shard per cell.
+    pub(crate) shard_of: Arc<Vec<u16>>,
+    /// This shard's id.
+    pub(crate) me: u16,
+    /// Execution cell of an event (a pure function of the event and the
+    /// static configuration — both sides of a shard boundary must agree).
+    pub(crate) cell_of: Arc<dyn Fn(&E) -> u32 + Send + Sync>,
+    /// Diverted `(at_ns, seq, event)` triples awaiting flush.
+    pub(crate) outbox: Vec<(u64, u64, E)>,
+}
 
 /// A simulation model: owns all state and reacts to its own event type.
 pub trait Model {
@@ -29,9 +97,10 @@ pub trait Model {
 pub struct Ctx<E> {
     now: SimTime,
     calendar: Calendar<E>,
-    next_seq: u64,
+    seq: SeqAlloc,
     executed: u64,
     scheduled: u64,
+    route: Option<Router<E>>,
 }
 
 impl<E> Ctx<E> {
@@ -39,10 +108,39 @@ impl<E> Ctx<E> {
         Ctx {
             now: SimTime::ZERO,
             calendar: Calendar::new(kind),
-            next_seq: 0,
+            seq: SeqAlloc::new(),
             executed: 0,
             scheduled: 0,
+            route: None,
         }
+    }
+
+    /// Switch a fresh context from the single global sequence counter to
+    /// `cells` per-cell counters (see [`CELL_SHIFT`]). Must be called
+    /// before anything is scheduled; the current cell starts at 0.
+    ///
+    /// # Panics
+    /// Panics if events were already scheduled or `cells` exceeds the
+    /// packable range.
+    pub fn enable_cells(&mut self, cells: u32) {
+        assert_eq!(self.scheduled, 0, "enable_cells on a used context");
+        assert!(cells >= 1 && (cells as u64) <= (u64::MAX >> CELL_SHIFT));
+        self.seq.counters = vec![0; cells as usize];
+        self.seq.cur = 0;
+    }
+
+    /// Set the scheduling cell subsequent allocations are keyed by. A
+    /// model calls this at the top of its handler with the executing
+    /// event's own cell. No-op-safe in global mode only for cell 0.
+    #[inline]
+    pub fn set_cell(&mut self, cell: u32) {
+        debug_assert!((cell as usize) < self.seq.counters.len());
+        self.seq.cur = cell;
+    }
+
+    /// Number of scheduling cells (1 in global mode).
+    pub fn cells(&self) -> u32 {
+        self.seq.counters.len() as u32
     }
 
     /// Current simulated time.
@@ -58,8 +156,16 @@ impl<E> Ctx<E> {
     #[inline]
     pub fn schedule_at(&mut self, at: SimTime, ev: E) -> EventHandle {
         assert!(at >= self.now, "cannot schedule into the past");
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        // Cancellable events cannot cross a shard boundary (the handle
+        // would dangle); the ROCC model only ever `post_at`s, so in a
+        // sharded run everything reaching this path must be shard-local.
+        debug_assert!(
+            self.route
+                .as_ref()
+                .is_none_or(|rt| rt.shard_of[(rt.cell_of)(&ev) as usize] == rt.me),
+            "cancellable event scheduled across a shard boundary"
+        );
+        let seq = self.seq.alloc();
         self.scheduled += 1;
         self.calendar.schedule(at, seq, ev)
     }
@@ -82,9 +188,15 @@ impl<E> Ctx<E> {
     #[inline]
     pub fn post_at(&mut self, at: SimTime, ev: E) {
         assert!(at >= self.now, "cannot schedule into the past");
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = self.seq.alloc();
         self.scheduled += 1;
+        if let Some(rt) = &mut self.route {
+            let cell = (rt.cell_of)(&ev);
+            if rt.shard_of[cell as usize] != rt.me {
+                rt.outbox.push((at.as_nanos(), seq, ev));
+                return;
+            }
+        }
         self.calendar.schedule_nocancel(at, seq, ev);
     }
 
@@ -157,10 +269,14 @@ impl<E> Ctx<E> {
     where
         E: Persist + Clone,
     {
+        debug_assert_eq!(self.seq.total(), self.scheduled);
         w.put_u64(self.now.as_nanos());
-        w.put_u64(self.next_seq);
         w.put_u64(self.executed);
         w.put_u64(self.scheduled);
+        w.put_usize(self.seq.counters.len());
+        for c in &self.seq.counters {
+            w.put_u64(*c);
+        }
         let entries = self.calendar.live_entries();
         w.put_usize(entries.len());
         for (at, seq, ev) in &entries {
@@ -179,11 +295,18 @@ impl<E> Ctx<E> {
         E: Persist,
     {
         let now = SimTime::from_nanos(r.take_u64()?);
-        let next_seq = r.take_u64()?;
         let executed = r.take_u64()?;
         let scheduled = r.take_u64()?;
-        if next_seq != scheduled {
-            return Err(SnapError::Malformed("next_seq != scheduled"));
+        let ncells = r.take_usize()?;
+        if ncells == 0 || ncells as u64 > (u64::MAX >> CELL_SHIFT) {
+            return Err(SnapError::Malformed("cell count out of range"));
+        }
+        let mut counters = Vec::with_capacity(ncells);
+        for _ in 0..ncells {
+            counters.push(r.take_u64()?);
+        }
+        if counters.iter().sum::<u64>() != scheduled {
+            return Err(SnapError::Malformed("sum(cell counters) != scheduled"));
         }
         let n = r.take_usize()?;
         let mut ctx = Ctx::new(kind);
@@ -196,8 +319,9 @@ impl<E> Ctx<E> {
             if at < now.as_nanos() {
                 return Err(SnapError::Malformed("calendar entry before the clock"));
             }
-            if seq >= next_seq {
-                return Err(SnapError::Malformed("calendar seq beyond next_seq"));
+            let cell = (seq >> CELL_SHIFT) as usize;
+            if cell >= ncells || (seq & CELL_SEQ_MASK) >= counters[cell] {
+                return Err(SnapError::Malformed("calendar seq beyond its cell counter"));
             }
             if prev.is_some_and(|p| (at, seq) <= p) {
                 return Err(SnapError::Malformed("calendar entries not strictly sorted"));
@@ -207,10 +331,95 @@ impl<E> Ctx<E> {
             // are rebuilt), so restored entries take the no-slab path.
             ctx.calendar.schedule_nocancel(SimTime::from_nanos(at), seq, ev);
         }
-        ctx.next_seq = next_seq;
+        ctx.seq.counters = counters;
         ctx.executed = executed;
         ctx.scheduled = scheduled;
         Ok(ctx)
+    }
+
+    // ---- shard-driver plumbing (crate-internal; see `crate::shard`) ----
+
+    /// Install (or replace) the cross-shard router.
+    pub(crate) fn set_route(&mut self, route: Router<E>) {
+        self.route = Some(route);
+    }
+
+    /// Drain the router's outbox of diverted `(at_ns, seq, ev)` triples.
+    pub(crate) fn take_outbox(&mut self, into: &mut Vec<(u64, u64, E)>) {
+        if let Some(rt) = &mut self.route {
+            into.append(&mut rt.outbox);
+        }
+    }
+
+    /// Owning shard of `ev`'s execution cell (`None` without a router).
+    pub(crate) fn route_dest(&self, ev: &E) -> Option<u16> {
+        self.route
+            .as_ref()
+            .map(|rt| rt.shard_of[(rt.cell_of)(ev) as usize])
+    }
+
+    /// Insert an event that was *already allocated* a sequence number —
+    /// an arrival from another shard, or a held entry being put back. No
+    /// counter is bumped and `scheduled` is untouched: the allocation
+    /// happened (exactly once) on the scheduling shard.
+    pub(crate) fn inject(&mut self, at_ns: u64, seq: u64, ev: E) {
+        self.calendar
+            .schedule_nocancel(SimTime::from_nanos(at_ns), seq, ev);
+    }
+
+    /// Read-only lower bound on the earliest pending event's time in
+    /// nanoseconds (`u64::MAX` when none): cheap (O(levels)) but possibly
+    /// loose — see [`Calendar::next_lower_bound`].
+    pub(crate) fn next_lower_bound(&self) -> u64 {
+        self.calendar.next_lower_bound()
+    }
+
+    /// Exact time of the earliest pending event in nanoseconds
+    /// (`u64::MAX` when none). O(pending) — the shard driver's stall
+    /// fallback, not a per-window path.
+    pub(crate) fn peek_min_time(&self) -> u64 {
+        self.calendar.peek_min().map_or(u64::MAX, |(at, _, _)| at)
+    }
+
+    /// The per-cell sequence counters.
+    pub(crate) fn seq_counters(&self) -> &[u64] {
+        &self.seq.counters
+    }
+
+    /// Canonical `(at_ns, seq, event)` capture of every live entry, sorted
+    /// by `(at, seq)` (the merge step's per-shard calendar export).
+    pub(crate) fn live_entries(&self) -> Vec<(u64, u64, E)>
+    where
+        E: Clone,
+    {
+        self.calendar.live_entries()
+    }
+
+    /// Build a context from merged parts: the calendar is reloaded from
+    /// `entries` (must be strictly `(at, seq)`-sorted), counters/statistics
+    /// are taken as given. The sharded driver's merge step uses this to
+    /// assemble the single post-run context.
+    pub(crate) fn assemble(
+        kind: CalendarKind,
+        now: SimTime,
+        executed: u64,
+        scheduled: u64,
+        counters: Vec<u64>,
+        entries: Vec<(u64, u64, E)>,
+    ) -> Ctx<E> {
+        debug_assert_eq!(counters.iter().sum::<u64>(), scheduled);
+        let mut ctx = Ctx::new(kind);
+        ctx.now = now;
+        let mut prev: Option<(u64, u64)> = None;
+        for (at, seq, ev) in entries {
+            debug_assert!(prev.is_none_or(|p| p < (at, seq)));
+            prev = Some((at, seq));
+            ctx.calendar.schedule_nocancel(SimTime::from_nanos(at), seq, ev);
+        }
+        ctx.seq.counters = counters;
+        ctx.executed = executed;
+        ctx.scheduled = scheduled;
+        ctx
     }
 }
 
@@ -251,6 +460,22 @@ impl<M: Model> Sim<M> {
     /// Access the scheduling context (e.g. to seed initial events).
     pub fn ctx(&mut self) -> &mut Ctx<M::Event> {
         &mut self.ctx
+    }
+
+    /// Read-only context access for crate-internal drivers.
+    pub(crate) fn ctx_ref(&self) -> &Ctx<M::Event> {
+        &self.ctx
+    }
+
+    /// Assemble a driver from a merged model and context (the sharded
+    /// driver's merge step; see [`crate::shard`]).
+    pub(crate) fn from_parts(model: M, ctx: Ctx<M::Event>) -> Self {
+        Sim {
+            model,
+            ctx,
+            // lint:allow(hot-path-alloc): construction-time batch buffer
+            batch: Vec::new(),
+        }
     }
 
     /// Execute the single next event, if any. Returns `false` when the

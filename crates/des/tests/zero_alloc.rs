@@ -22,7 +22,10 @@
 //! regression (through machine noise); this test pins the mechanism.
 
 use paradyn_allocguard::{checkpoint, CountingAlloc};
-use paradyn_des::{CalendarKind, Ctx, Model, Sim, SimDur, SimTime};
+use paradyn_des::{
+    CalendarKind, Ctx, Model, ShardModel, ShardPlan, ShardedSim, Sim, SimDur, SimTime,
+};
+use std::sync::Arc;
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -77,6 +80,120 @@ fn steady_state_is_allocation_free_on_both_backends() {
             traffic, 0,
             "{kind:?}: {traffic} heap operation(s) across {events} steady-state \
              events — a delivery-loop buffer is being reallocated per event"
+        );
+    }
+}
+
+/// Cell-aware variant of [`Timers`]: cell `c` of `CELLS` owns the timers
+/// with `id % CELLS == c`, and every timer tick also posts one
+/// fire-and-forget ping into the next cell — a cross-shard event on every
+/// partition that splits neighboring cells — at twice the plan's declared
+/// lookahead.
+///
+/// Unlike [`Timers`], the gaps here are deliberately *commensurate*: every
+/// timer runs at exactly one level-0 span (64 buckets × 64 ns = 4096 ns),
+/// phased one per bucket. Under the window protocol, per-shard traffic is
+/// a fraction of the serial test's, so with incommensurate gaps the wheel
+/// keeps discovering new worst-case bucket alignments (capacity growth)
+/// for far longer than any affordable warmup. A strictly periodic pattern
+/// reaches every bucket's steady capacity within one wrap of each level it
+/// touches, making "warmed up" a geometric fact rather than a statistical
+/// hope.
+struct ShardTimers {
+    me: u32,
+}
+
+const CELLS: u32 = 4;
+const TIMERS: u32 = 64;
+/// One level-0 span: all timers share this period, staggered by bucket.
+const PERIOD: u64 = 4096;
+/// High bit marks a ping; low bits are the target timer id.
+const PING: u32 = 1 << 31;
+/// Replicated boot event; its handler self-filters to owned cells.
+const INIT: u32 = u32::MAX;
+
+fn cell_of(ev: u32) -> u32 {
+    if ev == INIT {
+        0
+    } else {
+        (ev & !PING) % CELLS
+    }
+}
+
+impl Model for ShardTimers {
+    type Event = u32;
+    fn handle(&mut self, ctx: &mut Ctx<u32>, ev: u32) {
+        ctx.set_cell(cell_of(ev));
+        if ev == INIT {
+            for id in 0..TIMERS {
+                if id % CELLS == self.me {
+                    ctx.post_at(SimTime::from_nanos(id as u64 * 64), id);
+                }
+            }
+            return;
+        }
+        if ev & PING != 0 {
+            return; // cross-cell ping: absorbed, no reschedule
+        }
+        ctx.post_in(SimDur::from_nanos(PERIOD), ev);
+        // One ping per tick into the neighboring cell, two spans out —
+        // honestly above the one-span lookahead the plan declares below.
+        ctx.post_in(SimDur::from_nanos(2 * PERIOD), PING | (ev + 1) % TIMERS);
+    }
+}
+
+impl ShardModel for ShardTimers {
+    type Luggage = ();
+    fn detach(&mut self, _ev: &u32) -> Option<()> {
+        None
+    }
+    fn attach(&mut self, _ev: &u32, _luggage: ()) {}
+}
+
+/// The per-shard steady state must also be allocation-free: once wheel
+/// buckets, inboxes, and the outbox scratch reach stable capacity, the
+/// window protocol's round loop — run, drain outbox, deliver arrivals —
+/// touches the heap zero times per event.
+#[test]
+fn sharded_steady_state_is_allocation_free() {
+    // Same geometry as the serial gate: warm past the first level-2 wrap
+    // and the 16.8 ms level-3 crossing (the periodic pattern brushes a
+    // level-3 bucket only in the final spans before a crossing), and keep
+    // the window short of the next crossing at 33.6 ms.
+    const WARMUP: u64 = 18_000_000;
+    const END: u64 = 28_000_000;
+
+    for kind in [CalendarKind::Heap, CalendarKind::Wheel] {
+        let plan = ShardPlan {
+            shard_of: Arc::new(vec![0, 1, 2, 3]),
+            shards: CELLS as u16,
+            lookahead_ns: PERIOD,
+        };
+        let mut sim = ShardedSim::new(
+            kind,
+            plan,
+            Arc::new(|ev: &u32| cell_of(*ev)),
+            |s| ShardTimers { me: s as u32 },
+            |sim, _| sim.ctx().post_at(SimTime::ZERO, INIT),
+        );
+        sim.run_until(SimTime::from_nanos(WARMUP), 1);
+        let warm_events = sim.executed_events();
+
+        let mark = checkpoint();
+        sim.run_until(SimTime::from_nanos(END), 1);
+        let traffic = mark.heap_traffic_since();
+
+        let events = sim.executed_events() - warm_events;
+        assert_eq!(sim.violations(), 0, "{kind:?}: lookahead was violated");
+        assert!(
+            events > 100_000,
+            "{kind:?}: window too small to be meaningful ({events} events)"
+        );
+        assert_eq!(
+            traffic, 0,
+            "{kind:?}: {traffic} heap operation(s) across {events} sharded \
+             steady-state events — a window-protocol buffer is being \
+             reallocated per round"
         );
     }
 }

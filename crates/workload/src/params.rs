@@ -71,6 +71,13 @@ pub struct RoccParams {
     /// 4.3.3). Default 170 ~ a classic 4 KiB pipe of 24-byte sample
     /// records.
     pub pipe_capacity: usize,
+    /// Minimum wire time of one forwarding hop on a contention-free
+    /// interconnect (µs): the drawn occupancy is clamped up to this floor.
+    /// This is the sharded driver's lookahead lower bound — a cross-node
+    /// forward never arrives sooner than `min_forward_us` after it is
+    /// sent. Default 5 µs, far below the exp(71) mean hop occupancy, so
+    /// the clamp almost never binds.
+    pub min_forward_us: f64,
 }
 
 impl Default for RoccParams {
@@ -105,6 +112,7 @@ impl Default for RoccParams {
             quantum_us: 10_000.0,
             smp_bus_speedup: 4.0,
             pipe_capacity: 170,
+            min_forward_us: 5.0,
         }
     }
 }

@@ -74,6 +74,29 @@ echo "snapshot mutation self-check: perturbation correctly detected"
 echo "== fault-injection suite =="
 cargo test -q --offline --test fault_injection
 
+echo "== shard-determinism smoke (sharded runs bit-identical to serial) =="
+shard_t0="$(date +%s%N)"
+cargo test -q --offline --test sharding
+shard_t1="$(date +%s%N)"
+shard_ms="$(( (shard_t1 - shard_t0) / 1000000 ))"
+echo "sharding suite took ${shard_ms} ms"
+if [ "$shard_ms" -ge 60000 ]; then
+  echo "verify: FAIL — sharding suite exceeded the 60 s budget" >&2
+  exit 1
+fi
+
+echo "== lookahead mutation self-check (inflated lookahead must be caught) =="
+# inflated_lookahead_is_caught_by_the_oracle runs the sharded driver with a
+# lookahead far beyond the model's real forwarding floor and asserts the
+# driver counts violations AND the differential oracle flags the trace. If
+# it fails, the suite above could pass with an unsound window protocol.
+cargo test -q --offline --test sharding inflated_lookahead_is_caught_by_the_oracle \
+  | grep -q "1 passed" || {
+  echo "verify: FAIL — lookahead mutation self-check did not run/pass" >&2
+  exit 1
+}
+echo "lookahead mutation self-check: unsound window correctly detected"
+
 echo "== chaos-search suite (randomized fault/overload scenarios + oracles) =="
 chaos_t0="$(date +%s%N)"
 cargo test -q --offline --test chaos
@@ -93,7 +116,7 @@ echo "== chaos mutation self-check (seeded conservation bug must be found and sh
 cp Cargo.toml Cargo.lock lint-baseline.txt "$chaos_dir"/ 2>/dev/null || \
   cp Cargo.toml lint-baseline.txt "$chaos_dir"/
 cp -r crates src tests examples "$chaos_dir"/
-sed -i 's/self\.acc\.shed_by_tier\[tier\] += 1;/\/* seeded bug: shed uncounted *\//' \
+sed -i 's/self\.accs\[self\.cell\]\.shed_by_tier\[tier\] += 1;/\/* seeded bug: shed uncounted *\//' \
   "$chaos_dir/crates/core/src/model/app.rs"
 grep -q "seeded bug" "$chaos_dir/crates/core/src/model/app.rs" || {
   echo "verify: FAIL — could not seed the conservation bug" >&2
@@ -149,7 +172,7 @@ echo "== perf-ratchet self-check (inflated floor must go red) =="
 # Raise one floor above any achievable throughput in a scratch copy; the
 # checker must report a regression, proving the ratchet actually bites.
 cp BENCH_des.json BENCH_floor.json "$ratchet_dir"/
-sed -i 's/"min_events_per_sec": 2300000\.0/"min_events_per_sec": 99000000000000.0/' \
+sed -i 's/"min_events_per_sec": 2600000\.0/"min_events_per_sec": 99000000000000.0/' \
   "$ratchet_dir/BENCH_floor.json"
 set +e
 cargo run --release --offline -q -p paradyn-bench --bin check_bench_json -- \

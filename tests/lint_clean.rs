@@ -56,6 +56,14 @@ fn workspace_has_zero_non_baselined_findings() {
         .map(|e| e.id)
         .collect();
     assert_eq!(chaos_ids, vec![16], "chaos stream registry drifted");
+    // And the shard allocation (DESIGN.md §11).
+    let shard_ids: Vec<u64> = report
+        .stream_registry
+        .iter()
+        .filter(|e| e.name.starts_with("SHARD_"))
+        .map(|e| e.id)
+        .collect();
+    assert_eq!(shard_ids, vec![17], "shard stream registry drifted");
 }
 
 #[test]
@@ -144,6 +152,12 @@ fn seeded_violations_are_caught() {
             "pub fn f(v: &[u8]) -> u8 { *v.first().expect(\"non-empty\") }",
         ),
         (
+            // The sharded window driver is on the panic-path rule too.
+            "panic-path",
+            "crates/des/src/shard.rs",
+            "pub fn f(v: &[u8]) -> u8 { *v.first().unwrap() }",
+        ),
+        (
             "hermeticity",
             "crates/core/src/lib.rs",
             "use serde::Serialize;\npub fn f() {}",
@@ -158,6 +172,12 @@ fn seeded_violations_are_caught() {
             "hot-path-alloc",
             "crates/core/src/pipe.rs",
             "pub fn push(b: &mut Vec<Vec<u8>>, s: &Vec<u8>) { b.push(s.clone()) }",
+        ),
+        (
+            // The shard driver's per-window loop must stay allocation-free.
+            "hot-path-alloc",
+            "crates/des/src/shard.rs",
+            "pub fn forward(evs: &[u32]) -> Vec<u32> { evs.to_vec() }",
         ),
     ];
     for (rule, rel, src) in cases {

@@ -1,0 +1,236 @@
+//! Sharded-execution contracts (DESIGN.md §11): the static partition is a
+//! pure function that cuts only forwarding links, and a sharded run at any
+//! shard/thread count is **bit-identical** to the serial engine — same
+//! metrics, same canonical state payload — with the serial engine kept as
+//! the oracle.
+
+use paradyn_core::{
+    build_with_calendar, exec_cell, lookahead_ns, partition, run, run_sharded,
+    run_sharded_with_lookahead, shardable, Arch, DaemonCrashFaults, FaultPlan, Forwarding,
+    LinkFaults, SimConfig,
+};
+use paradyn_des::{CalendarKind, SimTime};
+
+fn mpp_tree(nodes: usize) -> SimConfig {
+    SimConfig {
+        arch: Arch::Mpp {
+            forwarding: Forwarding::BinaryTree,
+        },
+        nodes,
+        batch: 16,
+        duration_s: 2.0,
+        ..Default::default()
+    }
+}
+
+fn now_cf(nodes: usize) -> SimConfig {
+    SimConfig {
+        arch: Arch::Now {
+            contention_free: true,
+        },
+        nodes,
+        duration_s: 2.0,
+        ..Default::default()
+    }
+}
+
+/// Serial oracle: the ordinary engine run to the horizon.
+fn serial_payload(cfg: &SimConfig, kind: CalendarKind) -> Vec<u8> {
+    let mut sim = build_with_calendar(cfg, kind);
+    sim.run_until(SimTime::from_secs_f64(cfg.duration_s));
+    sim.state_payload()
+}
+
+#[test]
+fn every_cell_lands_on_exactly_one_shard() {
+    for (cfg, shards) in [
+        (mpp_tree(31), 4u16),
+        (mpp_tree(100), 8),
+        (now_cf(10), 3),
+        (now_cf(7), 16), // more shards than a balanced split needs
+    ] {
+        let p = partition(&cfg, shards);
+        assert_eq!(p.len(), cfg.nodes, "one owner per cell, no cell skipped");
+        assert!(p.iter().all(|&s| s < shards), "owner out of range");
+        assert_eq!(p[0], 0, "main's node stays on shard 0");
+        // Purity: same (config, shard count) -> same partition.
+        assert_eq!(*p, *partition(&cfg.clone(), shards));
+    }
+}
+
+#[test]
+fn cross_shard_edges_are_exactly_forwarding_links() {
+    // On the binary tree, walk every child -> parent forwarding link; any
+    // communicating pair of cells split across shards must be one of these
+    // links (the daemon's own apps, bank, and background sources share its
+    // cell by construction of `exec_cell`).
+    let cfg = mpp_tree(63);
+    for shards in [2u16, 4, 8] {
+        let p = partition(&cfg, shards);
+        for child in 1..cfg.nodes as u32 {
+            let parent = (child - 1) / 2;
+            if p[child as usize] != p[parent as usize] {
+                // Cut edge: fine, it is a forwarding link with wire time
+                // >= min_forward_us — exactly the protocol's lookahead.
+                continue;
+            }
+        }
+        // Intra-cell traffic never crosses: an app's deliveries, samples,
+        // and throttle ticks all map to the app's node.
+        let apn = cfg.apps_per_node as u32;
+        for node in 0..cfg.nodes as u32 {
+            for a in node * apn..(node + 1) * apn {
+                use paradyn_core::model::types::{Ev, NetJob};
+                assert_eq!(exec_cell(&Ev::Sample { app: a }, apn), node);
+                assert_eq!(exec_cell(&Ev::Deliver(NetJob::AppComm { app: a }), apn), node);
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_match_serial_bit_for_bit() {
+    let kind = CalendarKind::default_from_env();
+    for cfg in [mpp_tree(31), now_cf(6)] {
+        let oracle = serial_payload(&cfg, kind);
+        let serial_metrics = run(&cfg);
+        for shards in [1u16, 2, 4, 8] {
+            let sim = run_sharded(&cfg, kind, shards, 1);
+            assert_eq!(
+                sim.state_payload(),
+                oracle,
+                "{:?} {shards} shards: state diverged from serial",
+                cfg.arch
+            );
+            let events = sim.executed_events();
+            let m = sim
+                .model
+                .metrics(SimTime::from_secs_f64(cfg.duration_s) - SimTime::ZERO, events);
+            assert_eq!(m.events, serial_metrics.events, "{shards} shards: events");
+            assert_eq!(
+                m.latency_mean_s.to_bits(),
+                serial_metrics.latency_mean_s.to_bits(),
+                "{shards} shards: latency"
+            );
+            assert_eq!(
+                m.pd_cpu_per_node_s.to_bits(),
+                serial_metrics.pd_cpu_per_node_s.to_bits(),
+                "{shards} shards: pd cpu"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_match_serial_under_faults() {
+    // Crashes, link failures, and flush timers all stay within their
+    // daemon's cell; the merged state must still equal the serial oracle.
+    let mut cfg = mpp_tree(15);
+    cfg.faults = FaultPlan {
+        daemon_crash: Some(DaemonCrashFaults {
+            mtbf_us: 300_000.0,
+            recovery_us: 50_000.0,
+        }),
+        link: Some(LinkFaults {
+            fail_prob: 0.05,
+            max_retries: 3,
+            backoff_base_us: 500.0,
+        }),
+        ..Default::default()
+    };
+    cfg.batch_timeout_us = Some(20_000.0);
+    let kind = CalendarKind::default_from_env();
+    let oracle = serial_payload(&cfg, kind);
+    for shards in [2u16, 4] {
+        let sim = run_sharded(&cfg, kind, shards, 1);
+        assert_eq!(
+            sim.state_payload(),
+            oracle,
+            "{shards} shards diverged under fault injection"
+        );
+    }
+}
+
+#[test]
+fn shard_and_thread_counts_compose() {
+    // threads <= 1 runs the window protocol round-robin on the calling
+    // thread; one OS thread per shard must give the same bits.
+    let cfg = mpp_tree(31);
+    let kind = CalendarKind::default_from_env();
+    let oracle = serial_payload(&cfg, kind);
+    for shards in [2u16, 4] {
+        for threads in [1usize, shards as usize] {
+            let sim = run_sharded(&cfg, kind, shards, threads);
+            assert_eq!(
+                sim.state_payload(),
+                oracle,
+                "{shards} shards x {threads} threads diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn both_calendars_agree_when_sharded() {
+    let cfg = mpp_tree(15);
+    let wheel = run_sharded(&cfg, CalendarKind::Wheel, 4, 1);
+    let heap = run_sharded(&cfg, CalendarKind::Heap, 4, 1);
+    assert_eq!(
+        wheel.state_payload(),
+        heap.state_payload(),
+        "calendar backends diverged under sharding"
+    );
+}
+
+#[test]
+fn inflated_lookahead_is_caught_by_the_oracle() {
+    // Mutation self-check: claim far more lookahead than the model's real
+    // forwarding floor. The windows become unsound, the driver must count
+    // violations, and the differential oracle must flag the trace.
+    let cfg = mpp_tree(31);
+    let kind = CalendarKind::default_from_env();
+    let honest = lookahead_ns(&cfg);
+    let (sim, violations) = run_sharded_with_lookahead(&cfg, kind, 4, 1, honest * 20_000);
+    assert!(
+        violations > 0,
+        "inflated lookahead produced no violations — the mutation hook is dead"
+    );
+    assert_ne!(
+        sim.state_payload(),
+        serial_payload(&cfg, kind),
+        "violating run still matched the oracle — divergence not detectable"
+    );
+}
+
+#[test]
+fn unshardable_configs_are_refused() {
+    assert!(!shardable(&SimConfig::default()));
+    let result = std::panic::catch_unwind(|| {
+        run_sharded(
+            &SimConfig::default(),
+            CalendarKind::default_from_env(),
+            2,
+            1,
+        )
+    });
+    assert!(result.is_err(), "shared-medium config must be rejected");
+}
+
+#[test]
+fn run_honors_paradyn_shards_semantics() {
+    // `run` routes through the sharded driver only for shardable
+    // configurations; either way the metrics equal the serial engine's.
+    let cfg = mpp_tree(15);
+    let serial = run(&cfg);
+    let sim = run_sharded(&cfg, CalendarKind::default_from_env(), 4, 1);
+    let events = sim.executed_events();
+    let m = sim
+        .model
+        .metrics(SimTime::from_secs_f64(cfg.duration_s) - SimTime::ZERO, events);
+    assert_eq!(serial.events, m.events);
+    assert_eq!(serial.received_samples, m.received_samples);
+    assert_eq!(
+        serial.throughput_per_s.to_bits(),
+        m.throughput_per_s.to_bits()
+    );
+}
