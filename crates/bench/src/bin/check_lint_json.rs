@@ -1,0 +1,145 @@
+//! Validate a `paradyn.lint.v1` report (as emitted by
+//! `paradyn-lint --format json`) against the schema AND against the
+//! compiled-in rule/marker registries: the embedded `rules`/`markers`
+//! arrays must match `paradyn_lint::RULES`/`MARKERS` name-for-name, every
+//! finding must cite a known rule (or an engine meta-rule), and the
+//! structural fields must be present and well-typed. Exits nonzero with a
+//! reason on stderr, so `scripts/verify.sh` and `tests/lint_clean.rs` can
+//! gate on it.
+//!
+//! ```text
+//! paradyn-lint --format json > lint.json
+//! cargo run -p paradyn-bench --bin check_lint_json -- lint.json
+//! ```
+
+use paradyn_bench::json::Json;
+use paradyn_lint::{MARKERS, RULES};
+
+fn fail(msg: String) -> ! {
+    eprintln!("check_lint_json: {msg}");
+    std::process::exit(1);
+}
+
+/// Meta-rules the engine emits itself, outside the rule registry.
+const META_RULES: &[&str] = &["suppression", "baseline"];
+
+/// Validate one registry array (`rules` or `markers`) against its
+/// compiled-in counterpart, name-for-name in order.
+fn check_registry(doc: &Json, key: &str, expected: &[(&str, &str)]) {
+    let arr = doc
+        .get(key)
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail(format!("missing `{key}` array")));
+    if arr.len() != expected.len() {
+        fail(format!(
+            "`{key}` lists {} entries, registry has {} — report and binary disagree",
+            arr.len(),
+            expected.len()
+        ));
+    }
+    for (i, (entry, (name, _))) in arr.iter().zip(expected).enumerate() {
+        let ctx = format!("{key}[{i}]");
+        let got = entry
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(format!("{ctx}: missing `name`")));
+        if got != *name {
+            fail(format!("{ctx}: name `{got}` != registry `{name}`"));
+        }
+        let desc = entry
+            .get("description")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(format!("{ctx}: missing `description`")));
+        if desc.is_empty() {
+            fail(format!("{ctx}: empty description"));
+        }
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| fail("usage: check_lint_json <lint.json>".into()));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| fail(format!("read {path}: {e}")));
+    let doc = Json::parse(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("paradyn.lint.v1") => {}
+        other => fail(format!("unknown schema {other:?}")),
+    }
+    let files = doc
+        .get("files_scanned")
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| fail("missing `files_scanned`".into()));
+    if files < 1.0 {
+        fail("`files_scanned` is zero — lint walked nothing".into());
+    }
+
+    check_registry(&doc, "rules", RULES);
+    check_registry(&doc, "markers", MARKERS);
+
+    let findings = doc
+        .get("findings")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail("missing `findings` array".into()));
+    for (i, f) in findings.iter().enumerate() {
+        let ctx = format!("findings[{i}]");
+        let rule = f
+            .get("rule")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(format!("{ctx}: missing `rule`")));
+        let known =
+            RULES.iter().any(|(n, _)| *n == rule) || META_RULES.contains(&rule);
+        if !known {
+            fail(format!("{ctx}: unknown rule `{rule}`"));
+        }
+        for key in ["path", "message"] {
+            if f.get(key).and_then(Json::as_str).is_none() {
+                fail(format!("{ctx}: missing `{key}`"));
+            }
+        }
+        for key in ["line", "col"] {
+            if f.get(key).and_then(Json::as_num).is_none() {
+                fail(format!("{ctx}: missing `{key}`"));
+            }
+        }
+    }
+
+    if doc.get("suppressed").and_then(Json::as_num).is_none() {
+        fail("missing `suppressed`".into());
+    }
+    let baselined = doc
+        .get("baselined")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail("missing `baselined` array".into()));
+    for (i, b) in baselined.iter().enumerate() {
+        let ctx = format!("baselined[{i}]");
+        if b.get("rule").and_then(Json::as_str).is_none()
+            || b.get("path").and_then(Json::as_str).is_none()
+            || b.get("allowed").and_then(Json::as_num).is_none()
+        {
+            fail(format!("{ctx}: needs rule/path/allowed"));
+        }
+    }
+    if doc.get("stream_registry").and_then(Json::as_arr).is_none() {
+        fail("missing `stream_registry` array".into());
+    }
+    let clean = match doc.get("clean") {
+        Some(Json::Bool(b)) => *b,
+        _ => fail("missing boolean `clean`".into()),
+    };
+    if clean != findings.is_empty() {
+        fail(format!(
+            "`clean` = {clean} contradicts {} finding(s)",
+            findings.len()
+        ));
+    }
+
+    println!(
+        "check_lint_json: OK — {} rules, {} markers, {} finding(s), clean={clean}",
+        RULES.len(),
+        MARKERS.len(),
+        findings.len()
+    );
+}

@@ -183,6 +183,7 @@ pub(crate) struct ShardSlice {
 
 /// The full system model.
 pub struct RoccModel {
+    // lint:allow(snapshot-exempt): immutable for a run; fork/rewind restore into a model built from the same config
     pub(crate) cfg: SimConfig,
     pub(crate) banks: Vec<RrCpuBank<CpuJob>>,
     /// Shared FCFS network (NOW shared Ethernet / SMP bus); `None` for
@@ -194,9 +195,11 @@ pub struct RoccModel {
     pub(crate) barrier_waiting: Vec<AppId>,
     /// Recycled storage for the barrier-release roster, so a release cycle
     /// allocates nothing in the steady state.
+    // lint:allow(snapshot-exempt): scratch buffer, empty between events; restored runs start with an empty one
     pub(crate) barrier_scratch: Vec<AppId>,
     /// Recycled `Batch::drain_apps` vectors (returned when a collect cycle
     /// finishes draining), so collection allocates nothing steady-state.
+    // lint:allow(snapshot-exempt): allocation pool only; contents never carry state across events
     pub(crate) drain_pool: Vec<Vec<AppId>>,
     pub(crate) main_rng: StreamRng,
     pub(crate) pvmd_rngs: Vec<StreamRng>,
@@ -210,10 +213,13 @@ pub struct RoccModel {
     pub(crate) accs: Vec<Acc>,
     /// Cell of the event currently being handled (always 0 when
     /// `cells_on` is false).
+    // lint:allow(snapshot-exempt): transient cursor, only meaningful mid-event; snapshots are taken between events
     pub(crate) cell: usize,
     /// Whether scheduling cells are enabled (see [`crate::shard`]).
+    // lint:allow(snapshot-exempt): derived from the config the restored model is rebuilt from
     pub(crate) cells_on: bool,
     /// Present only on the workers of a sharded run.
+    // lint:allow(snapshot-exempt): worker-only scaffold; snapshots are taken on the merged serial model where it is None
     pub(crate) shard: Option<ShardSlice>,
 }
 

@@ -90,31 +90,29 @@ impl Persist for Apps {
             let pressured = r.take_bool()?;
             let pressure_cleared_at = Persist::load(r)?;
             let throttle_tick_armed = r.take_bool()?;
-            apps.push(
-                AppHot {
-                    node,
-                    pd,
-                    cpu_rng,
-                    net_rng,
-                    current_burst_us,
-                    work_since_barrier_us,
-                    at_barrier,
-                },
-                pipe,
-                AppCold {
-                    sample_rng,
-                    blocked_since,
-                    paused,
-                    sampling_active,
-                    replay_cpu_pos,
-                    replay_net_pos,
-                    throttle_rng,
-                    throttle_mult,
-                    pressured,
-                    pressure_cleared_at,
-                    throttle_tick_armed,
-                },
-            );
+            let hot = AppHot {
+                node,
+                pd,
+                cpu_rng,
+                net_rng,
+                current_burst_us,
+                work_since_barrier_us,
+                at_barrier,
+            };
+            let cold = AppCold {
+                sample_rng,
+                blocked_since,
+                paused,
+                sampling_active,
+                replay_cpu_pos,
+                replay_net_pos,
+                throttle_rng,
+                throttle_mult,
+                pressured,
+                pressure_cleared_at,
+                throttle_tick_armed,
+            };
+            apps.push(hot, pipe, cold);
         }
         Ok(apps)
     }
@@ -177,33 +175,31 @@ impl Persist for Daemons {
             if batch == 0 {
                 return Err(SnapError::Malformed("daemon batch threshold of zero"));
             }
-            daemons.push(
-                DaemonHot {
-                    node,
-                    cpu_rng,
-                    net_rng,
-                    collecting,
-                    down,
-                    doomed,
-                    shedding,
-                    remote_pressure,
-                    batch,
-                    flush_gen,
-                    cpu_used_us,
-                    forwarded_batches,
-                    forwarded_samples,
-                },
-                fifo,
-                DaemonCold {
-                    merge_rng,
-                    cpu_at_last_tick_us,
-                    batch_adjustments,
-                    crash,
-                    link_rng,
-                    fault_mon,
-                    shed_rng,
-                },
-            );
+            let hot = DaemonHot {
+                node,
+                cpu_rng,
+                net_rng,
+                collecting,
+                down,
+                doomed,
+                shedding,
+                remote_pressure,
+                batch,
+                flush_gen,
+                cpu_used_us,
+                forwarded_batches,
+                forwarded_samples,
+            };
+            let cold = DaemonCold {
+                merge_rng,
+                cpu_at_last_tick_us,
+                batch_adjustments,
+                crash,
+                link_rng,
+                fault_mon,
+                shed_rng,
+            };
+            daemons.push(hot, fifo, cold);
         }
         Ok(daemons)
     }

@@ -1067,6 +1067,7 @@ impl<E> Calendar<E> {
         E: Clone,
     {
         let mut out = Vec::with_capacity(self.live);
+        // lint:allow(hot-path-alloc): snapshot canonicalization clones each pending event once; runs only on snapshot/persist, never in the delivery loop
         self.for_each_live(|e| out.push((e.at, e.seq, e.ev.clone())));
         out.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
         debug_assert_eq!(out.len(), self.live);

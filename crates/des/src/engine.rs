@@ -260,6 +260,7 @@ impl<E> Ctx<E> {
     {
         self.calendar
             .peek_min()
+            // lint:allow(hot-path-alloc): clones one event for caller inspection; a borrow would freeze the calendar across the caller's decision — off-loop diagnostic cost
             .map(|(at, _seq, ev)| (SimTime::from_nanos(at), ev.clone()))
     }
 

@@ -1,6 +1,9 @@
-//! The lint engine: workspace walk, suppression handling, the baseline
-//! ratchet, and report emission (human text and `paradyn.lint.v1` JSON).
+//! The lint engine: workspace walk, the item-model passes, suppression
+//! handling, the baseline ratchet, and report emission (human text and
+//! `paradyn.lint.v1` JSON).
 
+use crate::model::Workspace;
+use crate::passes::{self, MARKERS};
 use crate::rules::{self, Finding, StreamIdEntry, RULES};
 use crate::source::SourceFile;
 use std::path::{Path, PathBuf};
@@ -93,6 +96,16 @@ impl Report {
                 json_str(name),
                 json_str(desc),
                 comma(i, RULES.len())
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"markers\": [\n");
+        for (i, (name, desc)) in MARKERS.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"description\": {}}}{}\n",
+                json_str(name),
+                json_str(desc),
+                comma(i, MARKERS.len())
             ));
         }
         out.push_str("  ],\n");
@@ -308,31 +321,60 @@ pub fn run(opts: &Options) -> Result<Report, String> {
         registry.extend(rules::collect_stream_registry(f));
     }
 
-    // Pass B: per-file rules, then suppression filtering per file.
+    // Pass B: the item model, the workspace consistency passes (strict —
+    // a renamed anchor turns the gate red), and the per-file rules, with
+    // suppression filtering applied to both finding sources.
+    let ws = Workspace::build(&files);
+    let pass_out = passes::run_workspace_passes(&ws, true);
+    let mut used: Vec<Vec<bool>> = files.iter().map(|f| vec![false; f.allows.len()]).collect();
+    for &(fi, ai) in &pass_out.consumed {
+        used[fi][ai] = true;
+    }
     let mut active: Vec<Finding> = rules::rng_registry_collisions(&registry);
     let mut suppressed = 0usize;
-    for f in &files {
-        let raw = rules::run_file_rules(f, &registry, &crate_names);
-        let mut used = vec![false; f.allows.len()];
-        for finding in raw {
-            let hit = f.allows.iter().position(|a| {
-                a.justified
-                    && a.rule == finding.rule
-                    && (a.line == finding.line || a.line + 1 == finding.line)
-            });
-            match hit {
-                Some(i) => {
-                    used[i] = true;
-                    suppressed += 1;
-                }
-                None => active.push(finding),
+    let suppress = |fi: usize,
+                        finding: Finding,
+                        used: &mut Vec<Vec<bool>>,
+                        suppressed: &mut usize,
+                        active: &mut Vec<Finding>| {
+        let f = &files[fi];
+        let hit = f.allows.iter().position(|a| {
+            a.justified
+                && a.rule == finding.rule
+                && (a.line == finding.line || a.line + 1 == finding.line)
+        });
+        match hit {
+            Some(i) => {
+                used[fi][i] = true;
+                *suppressed += 1;
             }
+            None => active.push(finding),
         }
-        // Suppression hygiene: every allow must name a real rule, carry a
-        // justification, and actually suppress something.
+    };
+    for finding in pass_out.findings {
+        // Workspace-pass findings carry the path of the body (or anchor)
+        // they implicate; route them through that file's allows. Anchor
+        // findings with a pseudo-path stay active unconditionally.
+        match files.iter().position(|f| f.rel == finding.path) {
+            Some(fi) => suppress(fi, finding, &mut used, &mut suppressed, &mut active),
+            None => active.push(finding),
+        }
+    }
+    for (fi, f) in files.iter().enumerate() {
+        let local_items = ws.declared_names(fi);
+        let raw = rules::run_file_rules(f, &registry, &crate_names, &local_items);
+        for finding in raw {
+            suppress(fi, finding, &mut used, &mut suppressed, &mut active);
+        }
+    }
+    // Suppression hygiene: every allow must name a real rule or pass
+    // marker, carry a justification, and actually suppress (or, for a
+    // marker, exempt) something.
+    for (fi, f) in files.iter().enumerate() {
         for (i, a) in f.allows.iter().enumerate() {
-            let known = RULES.iter().any(|(n, _)| *n == a.rule);
-            let problem = if !known {
+            let is_rule = RULES.iter().any(|(n, _)| *n == a.rule);
+            let is_marker = MARKERS.iter().any(|(n, _)| *n == a.rule);
+            let problem = if !is_rule && !is_marker {
                 Some(format!("unknown rule `{}` in lint:allow", a.rule))
             } else if !a.justified {
                 Some(format!(
@@ -340,12 +382,20 @@ pub fn run(opts: &Options) -> Result<Report, String> {
                      `lint:allow({}): <why this site is safe>`",
                     a.rule, a.rule
                 ))
-            } else if !used[i] {
-                Some(format!(
-                    "unused lint:allow({}) — no finding on this or the next \
-                     line; remove it",
-                    a.rule
-                ))
+            } else if !used[fi][i] {
+                Some(if is_marker {
+                    format!(
+                        "unused lint:allow({}) — no enrolled field on this or \
+                         the next line; remove it",
+                        a.rule
+                    )
+                } else {
+                    format!(
+                        "unused lint:allow({}) — no finding on this or the next \
+                         line; remove it",
+                        a.rule
+                    )
+                })
             } else {
                 None
             };
@@ -438,14 +488,18 @@ pub fn run(opts: &Options) -> Result<Report, String> {
     })
 }
 
-/// Lint a single in-memory source file (no baseline, no cross-file rules
-/// except registry collisions within the same file). Used by tests and by
-/// the seeded-violation self-checks.
+/// Lint a single in-memory source file (no baseline, no suppression, no
+/// cross-file rules except registry collisions within the same file; the
+/// workspace passes run non-strict, so missing anchors do not fire). Used
+/// by tests and by the seeded-violation self-checks.
 pub fn lint_source(rel: &str, text: &str, crate_names: &[String]) -> Vec<Finding> {
-    let f = SourceFile::parse(rel, text.to_string());
-    let registry = rules::collect_stream_registry(&f);
+    let files = vec![SourceFile::parse(rel, text.to_string())];
+    let ws = Workspace::build(&files);
+    let f = &files[0];
+    let registry = rules::collect_stream_registry(f);
     let mut out = rules::rng_registry_collisions(&registry);
-    out.extend(rules::run_file_rules(&f, &registry, crate_names));
+    out.extend(rules::run_file_rules(f, &registry, crate_names, &ws.declared_names(0)));
+    out.extend(passes::run_workspace_passes(&ws, false).findings);
     out
 }
 

@@ -10,16 +10,29 @@
 //! every `cargo test` run (`tests/lint_clean.rs`) and in `scripts/
 //! verify.sh`.
 //!
+//! Consistency invariants that span declarations and impl bodies (every
+//! model field snapshotted, every counter merged, every shard touching
+//! only its own cells) need more than token patterns, so the lexer feeds
+//! a hand-written item parser ([`parse`]) building per-file trees of
+//! structs, enums, impls, and fns, resolved workspace-wide into a symbol
+//! table ([`model`]) that three completeness passes run against
+//! ([`passes`]).
+//!
 //! Because the workspace is hermetic (no external crates — see
-//! `tests/hermetic.rs`), the pass is built from scratch: a hand-written
+//! `tests/hermetic.rs`), everything is built from scratch: a hand-written
 //! lexer ([`lexer`]), a per-file source model with test-region and
-//! suppression tracking ([`source`]), five rules ([`rules`]), and an
-//! engine with a ratchet-only baseline ([`engine`]). See DESIGN.md §7.
+//! suppression tracking ([`source`]), the token-level rules ([`rules`]),
+//! the item model ([`parse`], [`model`], [`passes`]), and an engine with
+//! a ratchet-only baseline ([`engine`]). See DESIGN.md §7.
 
 pub mod engine;
 pub mod lexer;
+pub mod model;
+pub mod parse;
+pub mod passes;
 pub mod rules;
 pub mod source;
 
 pub use engine::{lint_source, run, workspace_crate_allowlist, Options, Report};
+pub use passes::MARKERS;
 pub use rules::{Finding, RULES};

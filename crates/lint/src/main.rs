@@ -3,16 +3,50 @@
 //!
 //! ```text
 //! cargo run --release -p paradyn-lint -- [--root DIR] [--baseline FILE] [--format human|json]
+//! cargo run --release -p paradyn-lint -- --explain <rule>
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
 use paradyn_lint::engine::{run, Options};
+use paradyn_lint::{MARKERS, RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> String {
-    "usage: paradyn-lint [--root DIR] [--baseline FILE] [--format human|json]".to_string()
+    "usage: paradyn-lint [--root DIR] [--baseline FILE] [--format human|json] \
+     | --explain <rule>"
+        .to_string()
+}
+
+/// `--explain <rule>`: print the registry entry for one rule or pass
+/// marker (or list everything for `--explain list`). Returns the process
+/// exit code.
+fn explain(what: &str) -> i32 {
+    if what == "list" {
+        for (name, _) in RULES {
+            println!("{name}");
+        }
+        for (name, _) in MARKERS {
+            println!("{name} (marker)");
+        }
+        return 0;
+    }
+    let rule = RULES.iter().find(|(n, _)| *n == what);
+    let marker = MARKERS.iter().find(|(n, _)| *n == what);
+    match rule.or(marker) {
+        Some((name, desc)) => {
+            let kind = if rule.is_some() { "rule" } else { "marker" };
+            println!("{name} ({kind})\n\n{desc}");
+            0
+        }
+        None => {
+            eprintln!(
+                "unknown rule `{what}`; try `--explain list` for the registry"
+            );
+            2
+        }
+    }
 }
 
 fn parse_args() -> Result<(Options, bool), String> {
@@ -24,6 +58,10 @@ fn parse_args() -> Result<(Options, bool), String> {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--explain" => {
+                let what = args.next().ok_or_else(usage)?;
+                std::process::exit(explain(&what));
+            }
             "--root" => root = PathBuf::from(args.next().ok_or_else(usage)?),
             "--baseline" => baseline = Some(PathBuf::from(args.next().ok_or_else(usage)?)),
             "--format" => {

@@ -1,0 +1,264 @@
+//! Workspace symbol table over the per-file item trees ([`crate::parse`]):
+//! struct lookup with same-file → same-crate → unique-global resolution,
+//! impl enumeration, and body-token queries. The consistency passes
+//! ([`crate::passes`]) are written entirely against this module.
+
+use crate::lexer::TokKind;
+use crate::parse::{parse_items, Item, ItemKind};
+use crate::source::SourceFile;
+
+/// The parsed workspace: one item tree per source file, index-aligned
+/// with `files`.
+pub struct Workspace<'a> {
+    /// The lexed files.
+    pub files: &'a [SourceFile],
+    /// `items[i]` is the item tree of `files[i]`.
+    pub items: Vec<Vec<Item>>,
+}
+
+/// A reference to one item together with the file that declares it.
+#[derive(Clone, Copy)]
+pub struct ItemRef<'a> {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// The item.
+    pub item: &'a Item,
+}
+
+impl<'a> Workspace<'a> {
+    /// Parse every file's item tree.
+    pub fn build(files: &'a [SourceFile]) -> Workspace<'a> {
+        let items = files.iter().map(parse_items).collect();
+        Workspace { files, items }
+    }
+
+    /// Visit every item in every file, depth-first.
+    pub fn for_each_item<'s>(&'s self, mut f: impl FnMut(ItemRef<'s>)) {
+        for (fi, tree) in self.items.iter().enumerate() {
+            for item in tree {
+                visit(fi, item, &mut f);
+            }
+        }
+    }
+
+    /// Every struct with named fields, declared outside test files and
+    /// test regions (test-only scaffolding types never enroll a pass).
+    pub fn structs(&self) -> Vec<ItemRef<'_>> {
+        let mut out = vec![];
+        self.for_each_item(|r| {
+            let file = &self.files[r.file];
+            if matches!(r.item.kind, ItemKind::Struct | ItemKind::Union)
+                && !r.item.fields.is_empty()
+                && !file.in_test_code(r.item.start)
+            {
+                out.push(r);
+            }
+        });
+        out
+    }
+
+    /// Every impl block outside test files and test regions.
+    pub fn impls(&self) -> Vec<ItemRef<'_>> {
+        let mut out = vec![];
+        self.for_each_item(|r| {
+            if r.item.kind == ItemKind::Impl
+                && !self.files[r.file].in_test_code(r.item.start)
+            {
+                out.push(r);
+            }
+        });
+        out
+    }
+
+    /// Resolve a struct name as seen from `from_file`: a struct in the
+    /// same file wins, else a unique struct in the same crate, else a
+    /// unique struct workspace-wide. Ambiguity resolves to `None` —
+    /// conservative, since every consumer skips unresolved names.
+    pub fn resolve_struct(&self, name: &str, from_file: usize) -> Option<ItemRef<'_>> {
+        let all: Vec<ItemRef<'_>> = self
+            .structs()
+            .into_iter()
+            .filter(|r| r.item.name == name)
+            .collect();
+        if let Some(r) = all.iter().find(|r| r.file == from_file) {
+            return Some(*r);
+        }
+        let from_crate = crate_key(&self.files[from_file].rel);
+        let in_crate: Vec<&ItemRef<'_>> = all
+            .iter()
+            .filter(|r| crate_key(&self.files[r.file].rel) == from_crate)
+            .collect();
+        match in_crate.len() {
+            1 => Some(*in_crate[0]),
+            0 if all.len() == 1 => Some(all[0]),
+            _ => None,
+        }
+    }
+
+    /// Does `name` occur as an identifier token inside a fn's body range?
+    pub fn body_contains_ident(&self, file: usize, body: (usize, usize), name: &str) -> bool {
+        let f = &self.files[file];
+        (body.0..body.1).any(|n| f.sig_is_ident(n, name))
+    }
+
+    /// Does the struct-literal form `Name {` occur inside a fn's body
+    /// range? (Used to enroll helper structs a `save`/`load` pair
+    /// constructs inline.)
+    pub fn body_constructs(&self, file: usize, body: (usize, usize), name: &str) -> bool {
+        let f = &self.files[file];
+        (body.0..body.1)
+            .any(|n| f.sig_is_ident(n, name) && f.sig_is_punct(n + 1, b'{') && n + 1 < body.1)
+    }
+
+    /// Names an item tree declares anywhere in a file: item names from
+    /// the tree, plus declaration keywords scanned inside fn bodies
+    /// (items may be declared fn-locally; the tree does not descend into
+    /// statement position).
+    pub fn declared_names(&self, file: usize) -> Vec<String> {
+        let f = &self.files[file];
+        let mut out = vec![];
+        for item in &self.items[file] {
+            visit(file, item, &mut |r: ItemRef<'_>| {
+                if !r.item.name.is_empty() {
+                    out.push(r.item.name.clone());
+                }
+                if let Some((lo, hi)) = r.item.body {
+                    const DECL: &[&str] =
+                        &["mod", "enum", "struct", "trait", "type", "union", "fn"];
+                    for n in lo..hi {
+                        let is_decl = f
+                            .sig_tok(n)
+                            .is_some_and(|t| {
+                                t.kind == TokKind::Ident
+                                    && DECL.contains(&t.text(&f.text))
+                            });
+                        if is_decl {
+                            if let Some(name) = f.sig_tok(n + 1) {
+                                if name.kind == TokKind::Ident && n + 1 < hi {
+                                    out.push(name.text(&f.text).to_string());
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+fn visit<'s>(file: usize, item: &'s Item, f: &mut impl FnMut(ItemRef<'s>)) {
+    f(ItemRef { file, item });
+    for c in &item.children {
+        visit(file, c, f);
+    }
+}
+
+/// The crate a workspace-relative path belongs to: `crates/<name>/…` →
+/// `<name>`, everything else (the root package's `src/`, `tests/`,
+/// `examples/`) → `""`.
+pub fn crate_key(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(specs: &[(&str, &str)]) -> Vec<SourceFile> {
+        specs
+            .iter()
+            .map(|(rel, src)| SourceFile::parse(rel, src.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn resolution_prefers_same_file_then_same_crate_then_unique_global() {
+        let fs = files(&[
+            ("crates/a/src/lib.rs", "struct S { x: u8 }\nstruct OnlyA { y: u8 }\n"),
+            ("crates/a/src/other.rs", "struct S { z: u8 }\n"),
+            ("crates/b/src/lib.rs", "struct S { w: u8 }\nstruct Uniq { q: u8 }\n"),
+        ]);
+        let ws = Workspace::build(&fs);
+        // Same file wins.
+        let r = ws.resolve_struct("S", 0).expect("same-file S");
+        assert_eq!((r.file, r.item.fields[0].name.as_str()), (0, "x"));
+        // Same crate, ambiguous (two S in crate a as seen from… none): from
+        // crate b the local S wins; from a third crate, three S → None.
+        let fs2 = files(&[("crates/c/src/lib.rs", "fn f() {}\n")]);
+        let mut all = fs.clone_into_vec();
+        all.extend(fs2);
+        let ws2 = Workspace::build(&all);
+        assert!(ws2.resolve_struct("S", 3).is_none(), "globally ambiguous");
+        // Unique global resolves cross-crate.
+        let u = ws2.resolve_struct("Uniq", 3).expect("unique global");
+        assert_eq!(u.file, 2);
+    }
+
+    #[test]
+    fn test_region_structs_are_invisible() {
+        let fs = files(&[(
+            "crates/a/src/lib.rs",
+            "struct Real { x: u8 }\n#[cfg(test)]\nmod tests { struct Fake { y: u8 } }\n",
+        )]);
+        let ws = Workspace::build(&fs);
+        assert!(ws.resolve_struct("Fake", 0).is_none());
+        assert!(ws.resolve_struct("Real", 0).is_some());
+    }
+
+    #[test]
+    fn body_queries_see_idents_and_constructions() {
+        let fs = files(&[(
+            "crates/a/src/lib.rs",
+            "struct H { a: u8 }\nfn mk() -> H { let v = 1; H { a: v } }\n",
+        )]);
+        let ws = Workspace::build(&fs);
+        let mut body = None;
+        ws.for_each_item(|r| {
+            if r.item.name == "mk" {
+                body = r.item.body;
+            }
+        });
+        let body = body.expect("mk body");
+        assert!(ws.body_contains_ident(0, body, "v"));
+        assert!(ws.body_constructs(0, body, "H"));
+        assert!(!ws.body_constructs(0, body, "v"));
+    }
+
+    #[test]
+    fn declared_names_include_fn_local_items() {
+        let fs = files(&[(
+            "crates/a/src/lib.rs",
+            "mod helpers { }\nfn f() { struct Local { a: u8 } enum E { A } }\n",
+        )]);
+        let ws = Workspace::build(&fs);
+        let names = ws.declared_names(0);
+        for expect in ["helpers", "f", "Local", "E"] {
+            assert!(names.iter().any(|n| n == expect), "{expect} in {names:?}");
+        }
+    }
+
+    #[test]
+    fn crate_keys_split_crates_from_root_package() {
+        assert_eq!(crate_key("crates/core/src/model/mod.rs"), "core");
+        assert_eq!(crate_key("src/chaos.rs"), "");
+        assert_eq!(crate_key("tests/chaos.rs"), "");
+    }
+
+    // Small helper: Vec<SourceFile> is not Clone (SourceFile isn't), so
+    // rebuild from text for the multi-workspace test above.
+    trait CloneIntoVec {
+        fn clone_into_vec(&self) -> Vec<SourceFile>;
+    }
+    impl CloneIntoVec for Vec<SourceFile> {
+        fn clone_into_vec(&self) -> Vec<SourceFile> {
+            self.iter()
+                .map(|f| SourceFile::parse(&f.rel, f.text.clone()))
+                .collect()
+        }
+    }
+}

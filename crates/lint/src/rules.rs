@@ -67,6 +67,31 @@ pub const RULES: &[(&str, &str)] = &[
          build is offline-hermetic and a registry dependency would break it \
          (tests/hermetic.rs checks manifests; this rule checks sources)",
     ),
+    (
+        "snapshot-completeness",
+        "every field of a type with a Persist/PersistState impl must be \
+         referenced in both the save and the load body: a field missing from \
+         either silently drops state across checkpoint/fork/rewind, which the \
+         equivalence suite only spot-checks per seed — deliberate exclusions \
+         carry lint:allow(snapshot-exempt) on the field",
+    ),
+    (
+        "metrics-merge-completeness",
+        "every Acc counter must appear in the cross-cell merge (Acc::add) and \
+         the reporting projection (SimMetrics::from_model), and every \
+         ledger-class SimMetrics field in the conservation identity \
+         (conservation_violation): a counter outside any of the three leaks \
+         samples past the conservation gate — deliberate exclusions carry \
+         lint:allow(merge-exempt) on the field",
+    ),
+    (
+        "shard-purity",
+        "inside crates/core/src/shard.rs and crates/des/src/shard.rs, \
+         model/accumulator arrays may only be indexed by the shard's own cell \
+         (`cell` / `self.cell`) outside the designated partition/absorb/merge \
+         fns: any other cross-cell access breaks the serial-equivalence \
+         argument (DESIGN.md §11)",
+    ),
 ];
 
 /// Directories whose crates may read the wall clock: the bench harness and
@@ -454,20 +479,14 @@ pub fn rng_registry_collisions(registry: &[StreamIdEntry]) -> Vec<Finding> {
 /// a path keyword, a workspace crate, or an item declared in the same
 /// file — Rust 2018 uniform paths let `use bounds::X;` follow a local
 /// `mod bounds;`, and `use DetailedState as S;` alias a local enum.
-/// `crate_names` comes from the workspace manifests (underscore form).
-pub fn hermeticity(file: &SourceFile, crate_names: &[String]) -> Vec<Finding> {
-    // Names introduced by item declarations anywhere in this file.
-    const DECL_KEYWORDS: &[&str] = &["mod", "enum", "struct", "trait", "type", "union"];
-    let mut local_items = vec![];
-    for (n, t) in file.sig_tokens() {
-        if t.kind == TokKind::Ident && DECL_KEYWORDS.contains(&t.text(&file.text)) {
-            if let Some(name) = file.sig_tok(n + 1) {
-                if name.kind == TokKind::Ident {
-                    local_items.push(name.text(&file.text).to_string());
-                }
-            }
-        }
-    }
+/// `crate_names` comes from the workspace manifests (underscore form);
+/// `local_items` from the item model ([`crate::model::Workspace::declared_names`]),
+/// which replaces the keyword-scan heuristic this rule used to carry.
+pub fn hermeticity(
+    file: &SourceFile,
+    crate_names: &[String],
+    local_items: &[String],
+) -> Vec<Finding> {
     let allowed = |seg: &str| {
         STD_SEGMENTS.contains(&seg)
             || crate_names.iter().any(|c| c == seg)
@@ -514,18 +533,20 @@ pub fn hermeticity(file: &SourceFile, crate_names: &[String]) -> Vec<Finding> {
     out
 }
 
-/// Run every per-file rule on one file.
+/// Run every per-file rule on one file. `local_items` is the file's
+/// declared-name set from the item model.
 pub fn run_file_rules(
     file: &SourceFile,
     registry: &[StreamIdEntry],
     crate_names: &[String],
+    local_items: &[String],
 ) -> Vec<Finding> {
     let mut out = wall_clock(file);
     out.extend(unordered_iteration(file));
     out.extend(panic_path(file));
     out.extend(hot_path_alloc(file));
     out.extend(rng_stream_literals(file, registry));
-    out.extend(hermeticity(file, crate_names));
+    out.extend(hermeticity(file, crate_names, local_items));
     out
 }
 
@@ -659,9 +680,13 @@ mod tests {
     }
 
     #[test]
-    fn hermeticity_allows_std_and_workspace_only() {
-        let src = "use std::io;\nuse core::fmt;\nuse crate::x;\nuse self::y;\nuse super::z;\nuse paradyn_des::Sim;\nuse serde::Serialize;\nextern crate rand;\n";
-        let hits = hermeticity(&file("crates/des/src/x.rs", src), &names());
+    fn hermeticity_allows_std_workspace_and_local_items_only() {
+        let src = "use std::io;\nuse core::fmt;\nuse crate::x;\nuse self::y;\nuse super::z;\nuse paradyn_des::Sim;\nuse bounds::B;\nuse serde::Serialize;\nextern crate rand;\n";
+        let hits = hermeticity(
+            &file("crates/des/src/x.rs", src),
+            &names(),
+            &["bounds".to_string()],
+        );
         assert_eq!(hits.len(), 2, "{hits:?}");
         assert!(hits[0].message.contains("serde"));
         assert!(hits[1].message.contains("rand"));

@@ -220,6 +220,14 @@ mod tests {
     use super::*;
     use std::thread;
 
+    /// Propagate a worker thread's result; a panicked worker surfaces as
+    /// an I/O error on the joining side instead of a cascading abort that
+    /// would mask the original failure.
+    fn join_io<T>(h: thread::JoinHandle<io::Result<T>>) -> io::Result<T> {
+        h.join()
+            .map_err(|_| io::Error::new(io::ErrorKind::Other, "worker thread panicked"))?
+    }
+
     #[test]
     fn record_codec_round_trips() {
         let r = SampleRecord {
@@ -294,8 +302,11 @@ mod tests {
         }
         for i in 0..10 {
             // The writer wrote 10 records and is still open, so the stream
-            // cannot be at EOF here; `None` would be a test failure anyway.
-            let rec = r.read_record()?.unwrap();
+            // cannot be at EOF here; surface a premature EOF as the error
+            // it is rather than aborting the harness.
+            let rec = r.read_record()?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "EOF with writer open")
+            })?;
             assert_eq!(rec.seq, i);
             assert_eq!(rec.value, i * 7);
         }
@@ -358,7 +369,7 @@ mod tests {
             assert_eq!(rec.seq, expected);
             expected += 1;
         }
-        producer.join().unwrap()?;
+        join_io(producer)?;
         assert_eq!(expected, 5_000);
         Ok(())
     }
@@ -408,7 +419,7 @@ mod tests {
             assert_eq!(rec.seq, n);
             n += 1;
         }
-        writer.join().unwrap()?;
+        join_io(writer)?;
         assert_eq!(n, 500);
         Ok(())
     }
@@ -435,7 +446,7 @@ mod tests {
         while let Some(_rec) = r.read_record()? {
             read += 1;
         }
-        let written = writer.join().unwrap()?;
+        let written = join_io(writer)?;
         assert_eq!(read, written);
         Ok(())
     }

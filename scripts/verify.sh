@@ -26,28 +26,67 @@ grep -q '"clean": true' "$lint_json" || {
   echo "verify: FAIL — lint JSON did not report clean" >&2
   exit 1
 }
+# Schema + registry validation: the embedded rules/markers tables must
+# match the compiled-in registries.
+cargo run --release --offline -q -p paradyn-bench --bin check_lint_json -- "$lint_json"
 rm -f "$lint_json"
+# The rule registry is reachable from the CLI.
+cargo run --release --offline -q -p paradyn-lint -- --explain snapshot-completeness > /dev/null
+cargo run --release --offline -q -p paradyn-lint -- --explain snapshot-exempt > /dev/null
 
-echo "== paradyn-lint mutation self-check (seeded violation must go red) =="
+echo "== paradyn-lint mutation self-checks (seeded violations must go red) =="
 mut_dir="$(mktemp -d)"
 chaos_dir="$(mktemp -d)"
 ratchet_dir="$(mktemp -d)"
 trap 'rm -rf "$mut_dir" "$chaos_dir" "$ratchet_dir"' EXIT
+# The workspace passes read the whole tree (Acc lives in crates/core, the
+# conservation identity in src/chaos.rs), so the scratch copy carries the
+# root package sources too.
 cp Cargo.toml lint-baseline.txt "$mut_dir"/
-cp -r crates "$mut_dir"/crates
+cp -r crates src tests examples "$mut_dir"/
+
+# Each mutation: seed one violation into the scratch tree, expect exit 1
+# with the named rule in the JSON findings, then restore the file.
+# Exit 1 is "findings"; 0 would mean the gate is blind, 2 an engine error.
+run_lint_mutation() { # <label> <rule> <mutated-file (repo-relative)>
+  local label="$1" rule="$2" file="$3"
+  local out="$mut_dir/mutation.json"
+  set +e
+  cargo run --release --offline -q -p paradyn-lint -- \
+    --root "$mut_dir" --format json > "$out" 2>&1
+  local rc=$?
+  set -e
+  if [ "$rc" -ne 1 ]; then
+    echo "verify: FAIL — $label mutation expected exit 1, got $rc" >&2
+    exit 1
+  fi
+  if ! grep -q "\"rule\": \"$rule\"" "$out"; then
+    echo "verify: FAIL — $label mutation did not produce a $rule finding" >&2
+    exit 1
+  fi
+  cp "$file" "$mut_dir/$file"
+  rm -f "$out"
+  echo "mutation self-check ($label): seeded violation correctly rejected"
+}
+
+# 1. A wall-clock read in simulation code (token-level rule).
 printf '\npub fn sneaky_now() -> std::time::Instant { std::time::Instant::now() }\n' \
   >> "$mut_dir/crates/des/src/lib.rs"
-set +e
-cargo run --release --offline -q -p paradyn-lint -- \
-  --root "$mut_dir" --format json > /dev/null 2>&1
-mut_rc=$?
-set -e
-# Exit 1 is "findings"; 0 would mean the gate is blind, 2 an engine error.
-if [ "$mut_rc" -ne 1 ]; then
-  echo "verify: FAIL — mutation self-check expected exit 1, got $mut_rc" >&2
-  exit 1
-fi
-echo "mutation self-check: seeded violation correctly rejected"
+run_lint_mutation "wall-clock" "wall-clock" "crates/des/src/lib.rs"
+
+# 2. One field write deleted from Persist::save for Acc — the snapshot
+#    would silently drop the counter.
+sed -i '/w\.put_u64(self\.emitted_samples);/d' "$mut_dir/crates/core/src/model/snapshot.rs"
+run_lint_mutation "snapshot" "snapshot-completeness" "crates/core/src/model/snapshot.rs"
+
+# 3. One counter dropped from the cross-cell merge Acc::add.
+sed -i '/self\.throttle_events += o\.throttle_events;/d' "$mut_dir/crates/core/src/model/mod.rs"
+run_lint_mutation "metrics-merge" "metrics-merge-completeness" "crates/core/src/model/mod.rs"
+
+# 4. A cross-cell accumulator write outside the designated merge fns.
+printf '\npub fn sneaky_merge(m: &mut RoccModel, other: usize) { m.accs[other].barrier_ops += 1; }\n' \
+  >> "$mut_dir/crates/core/src/shard.rs"
+run_lint_mutation "shard-purity" "shard-purity" "crates/core/src/shard.rs"
 
 echo "== snapshot-equivalence suite (checkpoint/fork/rewind gate) =="
 snap_t0="$(date +%s%N)"

@@ -174,6 +174,15 @@ pub fn conservation_violation(cfg: &SimConfig, m: &SimMetrics) -> Option<String>
             m.samples_in_flight
         ));
     }
+    let loss_classes =
+        m.lost_overflow + m.lost_while_blocked + m.lost_daemon_crash + m.lost_link;
+    if m.samples_lost != loss_classes {
+        return Some(format!(
+            "loss breakdown violated: lost={} != overflow={} + blocked={} + crash={} + link={}",
+            m.samples_lost, m.lost_overflow, m.lost_while_blocked, m.lost_daemon_crash,
+            m.lost_link
+        ));
+    }
     if m.shed_samples != m.shed_by_tier.iter().sum::<u64>() {
         return Some(format!(
             "shed total {} does not match tier breakdown {:?}",

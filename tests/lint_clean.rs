@@ -6,7 +6,7 @@
 //! rules still bite by linting seeded violations through `lint_source`.
 
 use paradyn_bench::json::Json;
-use paradyn_lint::{lint_source, run, Options, RULES};
+use paradyn_lint::{lint_source, run, Options, MARKERS, RULES};
 use std::path::Path;
 
 fn workspace_report() -> paradyn_lint::Report {
@@ -78,11 +78,19 @@ fn json_report_matches_schema_v1() {
         json.get("files_scanned").and_then(Json::as_num),
         Some(report.files_scanned as f64)
     );
+    // The embedded registries must match the compiled-in ones name-for-name
+    // (`--explain` and check_lint_json read the same tables).
     let rules = json.get("rules").and_then(Json::as_arr).expect("rules[]");
     assert_eq!(rules.len(), RULES.len());
-    for r in rules {
-        assert!(r.get("name").and_then(Json::as_str).is_some());
+    for (r, (name, _)) in rules.iter().zip(RULES) {
+        assert_eq!(r.get("name").and_then(Json::as_str), Some(*name));
         assert!(r.get("description").and_then(Json::as_str).is_some());
+    }
+    let markers = json.get("markers").and_then(Json::as_arr).expect("markers[]");
+    assert_eq!(markers.len(), MARKERS.len());
+    for (m, (name, _)) in markers.iter().zip(MARKERS) {
+        assert_eq!(m.get("name").and_then(Json::as_str), Some(*name));
+        assert!(m.get("description").and_then(Json::as_str).is_some());
     }
     let findings = json
         .get("findings")
@@ -179,6 +187,44 @@ fn seeded_violations_are_caught() {
             "crates/des/src/shard.rs",
             "pub fn forward(evs: &[u32]) -> Vec<u32> { evs.to_vec() }",
         ),
+        (
+            // A Persist impl that forgets one field in `save`.
+            "snapshot-completeness",
+            "crates/des/src/fcfs.rs",
+            "pub struct Q { depth: u64, served: u64 }\n\
+             impl Persist for Q {\n\
+                 fn save(&self, w: &mut Enc) { w.put_u64(self.depth); }\n\
+                 fn load(r: &mut Dec) -> Result<Q, E> {\n\
+                     Ok(Q { depth: r.take_u64()?, served: r.take_u64()? })\n\
+                 }\n\
+             }",
+        ),
+        (
+            // An Acc counter dropped from the cross-cell merge.
+            "metrics-merge-completeness",
+            "crates/core/src/metrics.rs",
+            "pub struct Acc { hits: u64, misses: u64 }\n\
+             impl Acc { pub fn add(&mut self, o: &Acc) { self.hits += o.hits; } }",
+        ),
+        (
+            // A ledger field missing from the conservation identity.
+            "metrics-merge-completeness",
+            "src/chaos.rs",
+            "pub struct SimMetrics { lost_fire: u64 }\n\
+             pub fn conservation_violation(m: &SimMetrics) -> Option<String> { None }",
+        ),
+        (
+            // A cross-cell index outside the designated merge fns.
+            "shard-purity",
+            "crates/core/src/shard.rs",
+            "pub fn sneaky_merge(m: &mut RoccModel, other: usize) { m.accs[other].barrier_ops += 1; }",
+        ),
+        (
+            // The DES shard driver is covered too.
+            "shard-purity",
+            "crates/des/src/shard.rs",
+            "pub fn peek(w: &Workers, s: usize) -> u64 { w.daemons.hot[s].flush_gen as u64 }",
+        ),
     ];
     for (rule, rel, src) in cases {
         let findings = lint_source(rel, src, &crates);
@@ -212,6 +258,34 @@ fn rules_respect_their_scopes() {
             // Allocation tokens outside the enrolled hot-path files are fine.
             "crates/core/src/model/app.rs",
             "pub fn copy(v: &[u32]) -> Vec<u32> { v.to_vec() }",
+        ),
+        (
+            // A complete Persist impl, plus a field deliberately excluded
+            // with a justified snapshot-exempt marker.
+            "crates/des/src/fcfs.rs",
+            "pub struct Q {\n\
+                 depth: u64,\n\
+                 // lint:allow(snapshot-exempt): derived from depth at load\n\
+                 cached: u64,\n\
+             }\n\
+             impl Persist for Q {\n\
+                 fn save(&self, w: &mut Enc) { w.put_u64(self.depth); }\n\
+                 fn load(r: &mut Dec) -> Result<Q, E> {\n\
+                     let depth = r.take_u64()?;\n\
+                     Ok(Q { depth, cached: depth * 2 })\n\
+                 }\n\
+             }",
+        ),
+        (
+            // Own-cell indexing and the designated merge fns are pure.
+            "crates/core/src/shard.rs",
+            "impl M { fn tick(&mut self) { self.accs[self.cell].x += 1; } }\n\
+             pub fn absorb_models(base: &mut M, o: &M, c: usize) { base.accs[c].x += o.accs[c].x; }",
+        ),
+        (
+            // Model-array names outside the shard drivers are unrestricted.
+            "crates/core/src/model/daemon.rs",
+            "pub fn peek(d: &Daemons, i: usize) -> u32 { d.hot[i].flush_gen }",
         ),
     ];
     for (rel, src) in ok {

@@ -1,0 +1,201 @@
+//! Property-based tests on the lint crate's lexer and item parser,
+//! running on the in-tree `paradyn_stats::check` harness. The lint gate
+//! runs on every source file in the workspace, so the front end must be
+//! total: no input — valid Rust, truncated Rust, or random bytes — may
+//! panic it, and the token/item spans it reports must actually describe
+//! the file (tests/lint_clean.rs depends on line/col findings pointing at
+//! real code). Rerun a reported failure with
+//! `PARADYN_PROP_SEED=<seed> cargo test <property name>`.
+
+use paradyn_lint::lexer::{tokenize, TokKind};
+use paradyn_lint::parse::{parse_items, Item};
+use paradyn_lint::source::SourceFile;
+use paradyn_stats::check::Failure;
+use paradyn_stats::{check, Gen, PropResult};
+use paradyn_stats::{prop_assert, prop_assert_eq};
+
+/// Adversarial inputs distilled from lexer/parser edge cases: unclosed
+/// delimiters, raw strings, nested comments, truncation mid-token, byte
+/// order marks of trouble. Every property runs over these in addition to
+/// its random inputs.
+const ADVERSARIAL: &[&str] = &[
+    "",
+    "{",
+    "}}}",
+    "struct",
+    "struct S {",
+    "struct S { a: u64,",
+    "impl Persist for",
+    "fn f(",
+    "r#\"unterminated raw",
+    "\"unterminated string",
+    "'a",
+    "'\\''",
+    "/* nested /* comment */",
+    "// line comment with no newline",
+    "#[attr(unclosed",
+    "macro_rules! m { ($x:expr) => { struct Inside; } }",
+    "mod a { mod b { mod c { fn deep() { } ",
+    "enum E { A(",
+    "pub pub pub",
+    "impl<T: Iterator<Item = (u8, u8)>> X for Y {}",
+    "use ::std::io;",
+    "let s = \"struct Fake { x: u8 }\";",
+    "型 struct 名 { ﬁeld: u64 }",
+    "\u{0}\u{1}\u{2}struct S{a:u8}\u{3}",
+];
+
+/// A random source string: either raw lossy-UTF8 bytes, or a shuffle of
+/// Rust-ish fragments that keeps the parser in interesting territory.
+fn random_source(g: &mut Gen) -> Result<String, Failure> {
+    if g.bool() {
+        let bytes = g.vec_u64(0, 300, 0, 255);
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        Ok(String::from_utf8_lossy(&raw).into_owned())
+    } else {
+        const FRAGMENTS: &[&str] = &[
+            "struct S", "{", "}", "(", ")", "a: u64", ",", ";", "impl", "Persist",
+            "for", "fn f", "pub", "#[derive(Debug)]", "//x\n", "/*y*/", "\"s\"",
+            "'c'", "r#\"raw\"#", "mod m", "enum E", "trait T", "<T>", "where",
+            "unsafe", "const C: u8 = 1", "macro_rules! m", "$crate", "::", "\n",
+            " ", "0x1f", "1.5e3", "'lifetime", "型",
+        ];
+        let n = g.usize_in(0, 60);
+        let mut s = String::new();
+        for _ in 0..n {
+            s.push_str(FRAGMENTS[g.index(FRAGMENTS.len())]);
+            s.push(' ');
+        }
+        Ok(s)
+    }
+}
+
+/// Token spans tile the file: in-bounds, strictly ordered, non-overlapping,
+/// on char boundaries, and the gaps between them are whitespace only.
+fn assert_tokens_tile(src: &str) -> PropResult {
+    let toks = tokenize(src);
+    let mut prev_end = 0usize;
+    for t in &toks {
+        prop_assert!(t.start < t.end, "empty token span {}..{}", t.start, t.end);
+        prop_assert!(t.end <= src.len(), "span {}..{} out of bounds", t.start, t.end);
+        prop_assert!(t.start >= prev_end, "overlap at {}", t.start);
+        prop_assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "span {}..{} splits a char",
+            t.start,
+            t.end
+        );
+        prop_assert!(
+            src[prev_end..t.start].chars().all(char::is_whitespace),
+            "non-whitespace gap {:?} before token at {}",
+            &src[prev_end..t.start],
+            t.start
+        );
+        prev_end = t.end;
+    }
+    prop_assert!(
+        src[prev_end..].chars().all(char::is_whitespace),
+        "non-whitespace tail {:?}",
+        &src[prev_end..]
+    );
+    Ok(())
+}
+
+/// Item spans are in-bounds and properly nested: every child's byte span
+/// sits inside its parent's, siblings are ordered and disjoint, and fn
+/// body token ranges index real significant tokens.
+fn assert_items_nest(file: &SourceFile) -> PropResult {
+    fn walk(
+        items: &[Item],
+        lo: usize,
+        hi: usize,
+        sig_len: usize,
+        text_len: usize,
+    ) -> PropResult {
+        let mut prev_end = lo;
+        for it in items {
+            prop_assert!(
+                it.start <= it.end && it.end <= text_len,
+                "item `{}` span {}..{} out of bounds",
+                it.name,
+                it.start,
+                it.end
+            );
+            prop_assert!(
+                it.start >= lo && it.end <= hi,
+                "item `{}` {}..{} escapes container {}..{}",
+                it.name,
+                it.start,
+                it.end,
+                lo,
+                hi
+            );
+            prop_assert!(
+                it.start >= prev_end,
+                "item `{}` overlaps its predecessor",
+                it.name
+            );
+            if let Some((blo, bhi)) = it.body {
+                prop_assert!(blo <= bhi && bhi <= sig_len, "body range out of bounds");
+            }
+            walk(&it.children, it.start, it.end, sig_len, text_len)?;
+            prev_end = it.end;
+        }
+        Ok(())
+    }
+    let items = parse_items(file);
+    walk(&items, 0, file.text.len(), file.sig.len(), file.text.len())
+}
+
+/// The lexer is total and its spans tile the input, on random byte soup,
+/// Rust-ish fragment shuffles, and the adversarial corpus.
+#[test]
+fn lexer_never_panics_and_spans_tile() {
+    for src in ADVERSARIAL {
+        assert_tokens_tile(src).unwrap();
+    }
+    check("lexer_never_panics_and_spans_tile", |g| {
+        let src = random_source(g)?;
+        assert_tokens_tile(&src)
+    });
+}
+
+/// The item parser is total and produces properly nested, in-bounds item
+/// trees on the same input classes.
+#[test]
+fn parser_never_panics_and_items_nest() {
+    for src in ADVERSARIAL {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_string());
+        assert_items_nest(&f).unwrap();
+    }
+    check("parser_never_panics_and_items_nest", |g| {
+        let src = random_source(g)?;
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_items_nest(&f)
+    });
+}
+
+/// Lexing is deterministic and pure: the same input yields the same token
+/// stream, and significant-token filtering never invents tokens.
+#[test]
+fn lexer_is_deterministic_and_sig_is_a_subset() {
+    check("lexer_is_deterministic_and_sig_is_a_subset", |g| {
+        let src = random_source(g)?;
+        let a = tokenize(&src);
+        let b = tokenize(&src);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!((x.start, x.end), (y.start, y.end));
+        }
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        for &i in &f.sig {
+            prop_assert!(i < f.tokens.len(), "sig index {} out of range", i);
+            let k = f.tokens[i].kind;
+            prop_assert!(
+                !matches!(k, TokKind::LineComment | TokKind::BlockComment),
+                "comment token in significant stream"
+            );
+        }
+        Ok(())
+    });
+}
